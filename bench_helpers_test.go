@@ -1,0 +1,17 @@
+package lightwave_test
+
+import (
+	"testing"
+
+	"lightwave/internal/core"
+)
+
+// newBenchFabric builds a full 64-cube fabric for control-plane benches.
+func newBenchFabric(b *testing.B) *core.Fabric {
+	b.Helper()
+	f, err := core.New(core.DefaultConfig(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}

@@ -1,0 +1,77 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation from the simulation substrates, printing the same rows/series
+// the paper reports. Run with -list to see experiment names and -only to
+// run a subset; EXPERIMENTS.md records one full run against the paper's
+// numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func()
+}
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	only := flag.String("only", "", "comma-separated experiment names to run")
+	flag.Parse()
+
+	exps := []experiment{
+		{"fig10a", "OCS insertion-loss histogram", fig10a},
+		{"fig10b", "OCS return loss vs port", fig10b},
+		{"fig11a", "analytic BER vs power with/without OIM", fig11a},
+		{"fig11b", "Monte-Carlo BER vs analytic model", fig11b},
+		{"fig12", "concatenated SFEC sensitivity improvement", fig12},
+		{"fig13", "fleet per-lane BER distribution", fig13},
+		{"table1", "pod fabric cost/power comparison", table1},
+		{"table2", "LLM slice optimization speedups", table2},
+		{"fig15a", "fabric availability vs OCS availability", fig15a},
+		{"fig15b", "goodput vs slice size", fig15b},
+		{"dcn", "spine-free DCN savings and topology engineering", dcnExperiment},
+		{"deploy", "deployment modularity and bidi savings", deployExperiment},
+		{"sched", "scheduler utilization comparison", schedExperiment},
+		{"fig2", "hybrid ICI-DCN collective", fig2Experiment},
+		{"tablec1", "OCS technology comparison", tableC1},
+		{"reliability", "OCS lifetime and field availability", reliabilityExperiment},
+		{"circulator", "Appendix B Jones-calculus circulator physics", circulatorExperiment},
+		{"wdm", "per-lane CWDM8 budgets and interop", wdmExperiment},
+		{"defrag", "defragmentation vs reconfigurability", defragExperiment},
+		{"scaleout", "multi-pod hybrid ICI-DCN training", scaleoutExperiment},
+		{"refresh", "in-service technology refresh trajectory", refreshExperiment},
+		{"campus", "campus fabric with shifting services", campusExperiment},
+	}
+
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	ran := 0
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+		e.run()
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched -only; use -list")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"lightwave/internal/core"
+	"lightwave/internal/ctlrpc"
+)
+
+func TestParseShape(t *testing.T) {
+	got, err := parseShape("4x8x16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != [3]int{4, 8, 16} {
+		t.Fatalf("got %v", got)
+	}
+	if got, err := parseShape("4X8X16"); err != nil || got != [3]int{4, 8, 16} {
+		t.Fatalf("uppercase: %v %v", got, err)
+	}
+	for _, bad := range []string{"4x8", "4x8x16x32", "axbxc", ""} {
+		if _, err := parseShape(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+	if got, _ := parseInts("5,"); len(got) != 1 {
+		t.Error("trailing comma mishandled")
+	}
+}
+
+func testClient(t *testing.T) *ctlrpc.Client {
+	t.Helper()
+	f, err := core.New(core.DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ctlrpc.NewServer(f).Serve(ctx, lis)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	c, err := ctlrpc.Dial(lis.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestDispatchCommands(t *testing.T) {
+	c := testClient(t)
+	cases := [][]string{
+		{"status"},
+		{"compose", "j1", "4x4x16", "0,1,2,3"},
+		{"slice", "j1"},
+		{"reshape", "j1", "4x8x8"},
+		{"fail-cube", "1"},
+		{"repair-cube", "1"},
+		{"install-cube", "12"},
+		{"observe-ber", "0", "0", "1e-6"},
+		{"destroy", "j1"},
+	}
+	for _, args := range cases {
+		if err := dispatch(c, args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	c := testClient(t)
+	bad := [][]string{
+		{"bogus"},
+		{"compose", "j"},
+		{"compose", "j", "4x4", "0"},
+		{"compose", "j", "4x4x4", "zero"},
+		{"reshape", "j"},
+		{"destroy"},
+		{"slice"},
+		{"fail-cube"},
+		{"fail-cube", "x"},
+		{"observe-ber", "0", "0"},
+		{"observe-ber", "a", "0", "1e-6"},
+		{"observe-ber", "0", "a", "1e-6"},
+		{"observe-ber", "0", "0", "zzz"},
+		{"destroy", "missing"},
+	}
+	for _, args := range bad {
+		if err := dispatch(c, args); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+func TestDispatchRepairLinkAndMetrics(t *testing.T) {
+	c := testClient(t)
+	if err := dispatch(c, []string{"compose", "j", "4x4x8", "0,1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dispatch(c, []string{"repair-link", "3", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dispatch(c, []string{"metrics"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]string{
+		{"repair-link", "3"},
+		{"repair-link", "x", "1"},
+		{"repair-link", "3", "x"},
+	} {
+		if err := dispatch(c, bad); err == nil {
+			t.Errorf("%v accepted", bad)
+		}
+	}
+}

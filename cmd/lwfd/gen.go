@@ -1,0 +1,9 @@
+package main
+
+import "lightwave/internal/optics"
+
+// generationByName resolves a transceiver generation, wrapping the optics
+// lookup so main stays flag-focused.
+func generationByName(name string) (optics.Generation, error) {
+	return optics.GenerationByName(name)
+}

@@ -1,0 +1,64 @@
+// Command lwfd is the lightwave fabric daemon: it owns a simulated superpod
+// fabric (48 Palomar OCSes plus the cube inventory) and serves the ctlrpc
+// control protocol on a TCP address for cmd/lwfctl and other tooling.
+//
+// Usage:
+//
+//	lwfd -addr 127.0.0.1:7600 -cubes 64
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lightwave/internal/core"
+	"lightwave/internal/ctlrpc"
+	"lightwave/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7600", "listen address")
+	cubes := flag.Int("cubes", 64, "installed elemental cubes (1-64)")
+	transceiver := flag.String("transceiver", "2x200G-bidi-CWDM4", "transceiver generation")
+	flag.Parse()
+
+	if err := run(*addr, *cubes, *transceiver); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, cubes int, transceiver string) error {
+	cfg := core.DefaultConfig(cubes)
+	if transceiver != cfg.Transceiver.Name {
+		gen, err := generationByName(transceiver)
+		if err != nil {
+			return err
+		}
+		cfg.Transceiver = gen
+	}
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Alerts = telemetry.SinkFunc(func(a telemetry.Alert) {
+		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
+	})
+
+	fabric, err := core.New(cfg)
+	if err != nil {
+		return fmt.Errorf("building fabric: %w", err)
+	}
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("lwfd: %d cubes, %s modules, serving on %s", cubes, cfg.Transceiver.Name, lis.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return ctlrpc.NewServer(fabric).Serve(ctx, lis)
+}

@@ -1,0 +1,63 @@
+// Command lwplan prints the physical cabling manifest of a superpod
+// (Appendix A / Fig A.1): the pull sheet mapping every cube-face fiber to
+// its OCS port, or the incremental runs needed to add one cube (§4.2.3).
+//
+// Usage:
+//
+//	lwplan -cubes 64            # full pod manifest
+//	lwplan -add 17              # incremental turn-up of cube 17
+//	lwplan -cubes 8 -summary    # per-OCS fiber counts only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"lightwave/internal/topo"
+)
+
+func main() {
+	cubes := flag.Int("cubes", 64, "installed cube count (1-64)")
+	add := flag.Int("add", -1, "print only the incremental runs for this new cube")
+	summary := flag.Bool("summary", false, "print per-OCS fiber counts instead of runs")
+	flag.Parse()
+
+	if *add >= 0 {
+		runs, err := topo.IncrementalRuns(*add)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# incremental turn-up of cube %d: %d fiber runs, no recabling of existing cubes\n", *add, len(runs))
+		for _, r := range runs {
+			fmt.Println(r)
+		}
+		return
+	}
+
+	plan, err := topo.CablePlan(*cubes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := topo.ValidatePlan(plan); err != nil {
+		log.Fatal(err)
+	}
+	if *summary {
+		sum := topo.PlanSummary(plan)
+		ids := make([]int, 0, len(sum))
+		for o := range sum {
+			ids = append(ids, int(o))
+		}
+		sort.Ints(ids)
+		fmt.Printf("# %d cubes, %d fiber runs over %d OCSes\n", *cubes, len(plan), len(ids))
+		for _, o := range ids {
+			fmt.Printf("ocs%02d: %d fibers\n", o, sum[topo.OCSID(o)])
+		}
+		return
+	}
+	fmt.Printf("# cable plan: %d cubes, %d fiber runs (validated)\n", *cubes, len(plan))
+	for _, r := range plan {
+		fmt.Println(r)
+	}
+}

@@ -1,0 +1,17 @@
+// Package lightwave is a from-scratch Go reproduction of "Lightwave
+// Fabrics: At-Scale Optical Circuit Switching for Datacenter and Machine
+// Learning Systems" (Liu et al., ACM SIGCOMM 2023).
+//
+// The implementation lives under internal/: the Palomar OCS model (ocs),
+// WDM transceivers and link budgets (optics), the PAM4/OIM DSP engine
+// (dsp), real Reed-Solomon and soft-decision FEC codecs (fec), the TPU v4
+// superpod topology (topo), collective communication models (collective),
+// the LLM slice-shape optimizer (mlperf), the cluster scheduler (sched),
+// availability analysis (avail), the spine-free DCN with topology
+// engineering (dcn), cost/power models (cost), telemetry (telemetry), and
+// the fabric control plane (core) with its TCP control protocol (ctlrpc).
+//
+// The benchmarks in this directory regenerate every table and figure of
+// the paper's evaluation; cmd/experiments prints the full rows/series, and
+// EXPERIMENTS.md records paper-versus-measured values.
+package lightwave

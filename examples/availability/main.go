@@ -1,0 +1,47 @@
+// Availability study: how transceiver choice sets the OCS count and fabric
+// availability (Fig 15a), and how the reconfigurable fabric's cube-swap
+// ability translates into goodput at a fixed system-availability target
+// (Fig 15b).
+//
+//	go run ./examples/availability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightwave/internal/avail"
+	"lightwave/internal/optics"
+	"lightwave/internal/sim"
+)
+
+func main() {
+	fmt.Println("fabric availability by transceiver (per-OCS availability 99.9%):")
+	for _, name := range []string{"200G-CWDM4", "2x200G-bidi-CWDM4", "800G-bidi-CWDM8"} {
+		gen, err := optics.GenerationByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := avail.OCSCount(gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s %2d OCSes -> %.1f%% fabric availability\n",
+			name, n, 100*avail.FabricAvailability(0.999, n))
+	}
+
+	fmt.Println("\ngoodput at 97% system availability (reconfigurable vs static):")
+	rng := sim.NewRand(99)
+	for _, serverAvail := range []float64{0.99, 0.995, 0.999} {
+		pod := avail.DefaultPod(serverAvail)
+		fmt.Printf("  server availability %.1f%%: hold back %d cubes\n",
+			100*serverAvail, pod.HoldBack())
+		for _, k := range []int{4, 16, 32} {
+			re := pod.Goodput(k, true)
+			st := pod.Goodput(k, false)
+			mc := pod.MonteCarloGoodput(k, true, 5000, rng.Split())
+			fmt.Printf("    %4d-TPU slices: reconfigurable %.0f%% (MC check %.0f%%), static %.0f%%\n",
+				k*64, 100*re, 100*mc, 100*st)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// LLM training slice optimization: run the paper's Table 2 workloads plus a
+// custom model through the slice-shape optimizer and print the per-shape
+// step-time breakdown — showing why there is "no one-size-fits-all optimal
+// slice configuration".
+//
+//	go run ./examples/llmtraining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightwave/internal/mlperf"
+)
+
+func main() {
+	sys := mlperf.DefaultSystem()
+
+	models := []mlperf.LLM{mlperf.LLM0(), mlperf.LLM1(), mlperf.LLM2()}
+	// A custom 20B model with a modest batch: plenty of model parallelism
+	// relative to data parallelism.
+	models = append(models, mlperf.LLM{
+		Name: "custom-20B", Params: 20e9, Layers: 40, Hidden: 6464,
+		GlobalBatch: 1024, SeqLen: 2048, InherentMP: 8, A2ABytesPerToken: 1024,
+	})
+
+	for _, m := range models {
+		res, err := sys.OptimizeSlice(m, 64)
+		if err != nil {
+			log.Fatalf("%s: %v", m.Name, err)
+		}
+		fmt.Printf("%s (%.0fB params, batch %g):\n", m.Name, m.Params/1e9, m.GlobalBatch)
+		fmt.Printf("  optimal slice %s, %.2fx vs static %s\n",
+			res.Best.Shape, res.Speedup, res.Baseline.Shape)
+		fmt.Printf("  %-10s %9s %8s %8s %8s %8s\n", "shape", "step(s)", "compute", "tp", "dp", "a2a")
+		shown := 0
+		for _, st := range res.All {
+			if !st.Feasible {
+				continue
+			}
+			fmt.Printf("  %-10s %9.3f %8.3f %8.3f %8.3f %8.3f\n",
+				st.Shape, st.Step.Total, st.Step.Compute, st.Step.TP, st.Step.DP, st.Step.A2A)
+			shown++
+			if shown == 5 {
+				break
+			}
+		}
+		fmt.Println()
+	}
+}

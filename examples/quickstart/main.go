@@ -1,0 +1,59 @@
+// Quickstart: build a small lightwave fabric, compose a slice, inspect its
+// circuits and optical margins, and exercise the failure-handling path.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightwave/internal/core"
+	"lightwave/internal/telemetry"
+	"lightwave/internal/topo"
+)
+
+func main() {
+	// A fabric with 8 installed cubes (512 TPUs) using the production bidi
+	// CWDM4 modules and 48 Palomar OCSes.
+	cfg := core.DefaultConfig(8)
+	cfg.Metrics = telemetry.NewRegistry()
+	fabric, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fabric up: %d cubes installed, %d OCSes\n", fabric.InstalledCubes(), topo.NumOCS)
+
+	// Compose a 4-cube slice as a 4x4x16 torus from non-contiguous cubes —
+	// the OCS indirection makes physical position irrelevant.
+	slice, err := fabric.ComposeSlice("demo", topo.Shape{X: 4, Y: 4, Z: 16}, []int{0, 2, 5, 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slice %q: shape %s, %d OCS circuits, worst link margin %.2f dB\n",
+		slice.Name, slice.Shape, len(slice.Circuits), slice.WorstMarginDB)
+
+	// Peek at the first few circuits: each is one OCS cross-connection
+	// carrying a face-to-face inter-cube optical link.
+	for _, c := range slice.Circuits[:4] {
+		fmt.Printf("  OCS %2d (dim %d, face index %2d): cube %d(+) -> cube %d(-)\n",
+			c.OCS, c.OCS.DimOf(), c.OCS.IndexOf(), c.North, c.South)
+	}
+
+	// A cube fails: the fabric swaps a healthy free cube in and reprograms
+	// only the circuits touching the replaced position.
+	replacement, err := fabric.MarkCubeFailed(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slice, _ = fabric.GetSlice("demo")
+	fmt.Printf("cube 2 failed -> replacement cube %d; slice now on cubes %v\n",
+		replacement, slice.Cubes)
+
+	// Tear down; all ports return to the pool.
+	if err := fabric.DestroySlice("demo"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slice destroyed; %d circuits live, free cubes %v\n",
+		fabric.TotalCircuits(), fabric.FreeCubes())
+}

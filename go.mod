@@ -1,0 +1,3 @@
+module lightwave
+
+go 1.22

@@ -1,0 +1,63 @@
+package avail
+
+import "testing"
+
+func TestFabricFoldedGoodputMatchesPureModelWhenPerfect(t *testing.T) {
+	p := DefaultPodWithFabric(0.999, 1.0, 48) // perfect OCSes
+	base := DefaultPod(0.999)
+	for _, k := range []int{1, 4, 16, 32} {
+		if p.Goodput(k) != base.Goodput(k, true) {
+			t.Fatalf("k=%d: %v vs %v", k, p.Goodput(k), base.Goodput(k, true))
+		}
+	}
+}
+
+func TestSingleCubeSlicesImmuneToFabric(t *testing.T) {
+	// Single-cube slices use only intra-rack electrical links.
+	bad := DefaultPodWithFabric(0.999, 0.99, 48) // terrible OCSes
+	good := DefaultPodWithFabric(0.999, 0.9999, 48)
+	if bad.Goodput(1) != good.Goodput(1) {
+		t.Fatal("OCS availability affected single-cube slices")
+	}
+}
+
+func TestWorseFabricReducesMultiCubeGoodput(t *testing.T) {
+	// Sweep per-OCS availability down; at some point the 97% target
+	// cannot be met even with perfect cubes.
+	perfect := DefaultPodWithFabric(0.9999, 0.9999, 48)
+	degraded := DefaultPodWithFabric(0.9999, 0.999, 48) // fabric ≈ 95.3%
+	if degraded.Goodput(16) >= perfect.Goodput(16) {
+		t.Fatalf("fabric degradation did not reduce goodput: %v vs %v",
+			degraded.Goodput(16), perfect.Goodput(16))
+	}
+	if degraded.Goodput(16) != 0 {
+		// 95.3% fabric < 97% target: no multi-cube slice can meet the
+		// target at all.
+		t.Fatalf("goodput = %v with fabric below target", degraded.Goodput(16))
+	}
+}
+
+func TestBidiTransceiversRescueGoodput(t *testing.T) {
+	// The Fig 15a ↔ Fig 15b connection: at 99.9% per-OCS availability a
+	// 96-OCS duplex fabric (90.8%) cannot meet a 95% deliverability
+	// target for multi-cube slices, while the 24-OCS CWDM8 fabric (97.6%)
+	// can.
+	duplex := DefaultPodWithFabric(0.9999, 0.999, 96)
+	duplex.Target = 0.95
+	cwdm8 := DefaultPodWithFabric(0.9999, 0.999, 24)
+	cwdm8.Target = 0.95
+	if duplex.Goodput(16) != 0 {
+		t.Fatalf("duplex goodput = %v, want 0 (fabric 90.8%% < target)", duplex.Goodput(16))
+	}
+	if cwdm8.Goodput(16) == 0 {
+		t.Fatal("CWDM8 fabric cannot advertise despite 97.6% availability")
+	}
+}
+
+func TestFabricFoldedEdgeCases(t *testing.T) {
+	p := DefaultPodWithFabric(0.999, 0.999, 48)
+	p.FabricAvail = 0
+	if p.ReconfigurableSlices(4) != 0 {
+		t.Fatal("zero fabric availability advertised slices")
+	}
+}

@@ -1,0 +1,185 @@
+package avail
+
+import (
+	"errors"
+
+	"lightwave/internal/sim"
+)
+
+// Time-domain validation of the Fig 15b sizing: cubes fail and repair as
+// continuous-time processes, and the pod continuously tries to keep its
+// advertised slices composed. Delivered availability — the fraction of
+// time all advertised slices are up — must meet the target the static
+// binomial sizing promised. The reconfigurable fabric recomposes a broken
+// slice from any healthy spare cube after a reconfiguration delay; the
+// static fabric must wait for the repair of the exact failed cube.
+
+// TimelineParams drives the continuous-time simulation.
+type TimelineParams struct {
+	Pod PodModel
+	// SliceCubes is the advertised slice size in cubes.
+	SliceCubes int
+	// Reconfigurable selects cube-swap repair.
+	Reconfigurable bool
+	// MTTRHours is the mean cube repair time; the failure rate is derived
+	// from the pod's CubeAvail (unavailability = rate·MTTR).
+	MTTRHours float64
+	// ReconfigHours is the time to recompose a slice on the lightwave
+	// fabric (milliseconds in reality; kept as a parameter).
+	ReconfigHours float64
+	// Years simulated.
+	Years float64
+}
+
+// TimelineResult reports delivered availability.
+type TimelineResult struct {
+	AdvertisedSlices int
+	// Delivered is the time-average fraction of advertised slices that
+	// were actually up.
+	Delivered float64
+	// AllUpFraction is the fraction of time every advertised slice was up.
+	AllUpFraction float64
+	Failures      int
+	Swaps         int
+}
+
+// ErrTimeline is returned for degenerate parameters.
+var ErrTimeline = errors.New("avail: invalid timeline parameters")
+
+// SimulateTimeline runs the continuous-time model.
+func SimulateTimeline(p TimelineParams, rng *sim.Rand) (TimelineResult, error) {
+	if p.Years <= 0 || p.MTTRHours <= 0 || p.SliceCubes <= 0 {
+		return TimelineResult{}, ErrTimeline
+	}
+	if rng == nil {
+		rng = sim.NewRand(0x71E)
+	}
+	var res TimelineResult
+	if p.Reconfigurable {
+		res.AdvertisedSlices = p.Pod.ReconfigurableSlices(p.SliceCubes)
+	} else {
+		res.AdvertisedSlices = p.Pod.StaticSlices(p.SliceCubes)
+	}
+	if res.AdvertisedSlices == 0 {
+		return res, nil
+	}
+
+	// Per-cube failure rate from steady-state availability:
+	// A = MTBF/(MTBF+MTTR) → MTBF = MTTR·A/(1−A).
+	a := p.Pod.CubeAvail()
+	mtbf := p.MTTRHours * a / (1 - a)
+	horizon := p.Years * 8766
+
+	n := p.Pod.Cubes
+	healthy := make([]bool, n)
+	for i := range healthy {
+		healthy[i] = true
+	}
+	// sliceOf[c] = slice index using cube c, or -1.
+	sliceOf := make([]int, n)
+	for i := range sliceOf {
+		sliceOf[i] = -1
+	}
+	next := 0
+	for s := 0; s < res.AdvertisedSlices; s++ {
+		for k := 0; k < p.SliceCubes; k++ {
+			sliceOf[next] = s
+			next++
+		}
+	}
+	brokenSlices := map[int]int{} // slice -> missing cubes
+
+	var q sim.Queue
+	upIntegral := 0.0
+	deliveredIntegral := 0.0
+	lastT := 0.0
+	account := func() {
+		now := float64(q.Now())
+		dt := now - lastT
+		lastT = now
+		up := res.AdvertisedSlices - len(brokenSlices)
+		deliveredIntegral += float64(up) * dt
+		if len(brokenSlices) == 0 {
+			upIntegral += dt
+		}
+	}
+
+	tryRecompose := func(s int) {
+		// Find healthy unassigned cubes to fill the slice's holes.
+		need := brokenSlices[s]
+		for c := 0; c < n && need > 0; c++ {
+			if healthy[c] && sliceOf[c] == -1 {
+				sliceOf[c] = s
+				need--
+				res.Swaps++
+			}
+		}
+		if need == 0 {
+			delete(brokenSlices, s)
+		} else {
+			brokenSlices[s] = need
+		}
+	}
+
+	var failCube func()
+	failCube = func() {
+		account()
+		c := rng.Intn(n)
+		if healthy[c] {
+			healthy[c] = false
+			res.Failures++
+			if s := sliceOf[c]; s >= 0 {
+				sliceOf[c] = -1
+				brokenSlices[s]++
+				if p.Reconfigurable {
+					s := s
+					q.After(p.ReconfigHours, func() {
+						account()
+						tryRecompose(s)
+					})
+				} else {
+					// Static: the slice waits for this exact cube.
+					cc, ss := c, s
+					q.After(rng.ExpFloat64()*p.MTTRHours, func() {
+						account()
+						healthy[cc] = true
+						sliceOf[cc] = ss
+						brokenSlices[ss]--
+						if brokenSlices[ss] == 0 {
+							delete(brokenSlices, ss)
+						}
+					})
+					// Schedule next failure and return: repair handled above.
+					q.After(rng.ExpFloat64()*mtbf/float64(n), failCube)
+					return
+				}
+			}
+			// Reconfigurable (or spare cube): generic repair returns the
+			// cube to the healthy pool.
+			cc := c
+			q.After(rng.ExpFloat64()*p.MTTRHours, func() {
+				account()
+				healthy[cc] = true
+				// On the reconfigurable fabric a broken slice may be
+				// waiting for capacity.
+				if p.Reconfigurable {
+					for s, miss := range brokenSlices {
+						if miss > 0 {
+							tryRecompose(s)
+							break
+						}
+					}
+				}
+			})
+		}
+		q.After(rng.ExpFloat64()*mtbf/float64(n), failCube)
+	}
+	q.After(rng.ExpFloat64()*mtbf/float64(n), failCube)
+
+	q.RunUntil(sim.Time(horizon))
+	account()
+
+	res.Delivered = deliveredIntegral / (float64(res.AdvertisedSlices) * horizon)
+	res.AllUpFraction = upIntegral / horizon
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package avail
+
+import (
+	"errors"
+	"testing"
+
+	"lightwave/internal/sim"
+)
+
+func timelineParams(reconf bool) TimelineParams {
+	return TimelineParams{
+		Pod:            DefaultPod(0.999),
+		SliceCubes:     16,
+		Reconfigurable: reconf,
+		MTTRHours:      8,
+		ReconfigHours:  0.01,
+		Years:          30,
+	}
+}
+
+func TestTimelineReconfigurableMeetsTarget(t *testing.T) {
+	res, err := SimulateTimeline(timelineParams(true), sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdvertisedSlices != 3 {
+		t.Fatalf("advertised = %d, want 3 (Fig 15b)", res.AdvertisedSlices)
+	}
+	// The static sizing promised 97% deliverability; the time-domain
+	// simulation with fast swaps must meet it.
+	if res.Delivered < 0.97 {
+		t.Fatalf("delivered = %.4f, below the 97%% target", res.Delivered)
+	}
+	if res.Swaps == 0 {
+		t.Fatal("no cube swaps over 30 years is implausible")
+	}
+}
+
+func TestTimelineStaticWorse(t *testing.T) {
+	reconf, err := SimulateTimeline(timelineParams(true), sim.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := SimulateTimeline(timelineParams(false), sim.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The static fabric advertises less (Fig 15b: 1 vs 3 slices) and each
+	// broken slice stays down for a full repair instead of a swap.
+	if static.AdvertisedSlices >= reconf.AdvertisedSlices {
+		t.Fatalf("static advertised %d, reconfigurable %d",
+			static.AdvertisedSlices, reconf.AdvertisedSlices)
+	}
+	if static.Swaps != 0 {
+		t.Fatal("static fabric cannot swap")
+	}
+	// Per-advertised-slice delivery: static loses full repair windows.
+	if static.Delivered >= reconf.Delivered {
+		t.Fatalf("static delivered %.4f not worse than reconfigurable %.4f",
+			static.Delivered, reconf.Delivered)
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	p := timelineParams(true)
+	p.Years = 0
+	if _, err := SimulateTimeline(p, nil); !errors.Is(err, ErrTimeline) {
+		t.Errorf("err = %v", err)
+	}
+	p = timelineParams(true)
+	p.MTTRHours = 0
+	if _, err := SimulateTimeline(p, nil); !errors.Is(err, ErrTimeline) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTimelineZeroAdvertised(t *testing.T) {
+	p := timelineParams(true)
+	p.SliceCubes = 64 // cannot promise a full pod at 97%
+	res, err := SimulateTimeline(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdvertisedSlices != 0 || res.Delivered != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	a, _ := SimulateTimeline(timelineParams(true), sim.NewRand(9))
+	b, _ := SimulateTimeline(timelineParams(true), sim.NewRand(9))
+	if a.Failures != b.Failures || a.Delivered != b.Delivered {
+		t.Fatal("same seed produced different timelines")
+	}
+}

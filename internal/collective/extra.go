@@ -1,0 +1,118 @@
+package collective
+
+import "fmt"
+
+// Additional collectives and an asymmetric-torus variant. Slices composed
+// by the lightwave fabric can have very different per-dimension ring
+// lengths (4×4×256), and scale-out jobs mix ICI and DCN dimensions with
+// very different link classes; AsymmetricTorus models a torus whose
+// dimensions have distinct links.
+
+// BroadcastTime returns the pipelined-ring broadcast time of S bytes from
+// one root around a ring: the payload is chunked and streamed, so the time
+// approaches S/B plus pipeline fill.
+func (r Ring) BroadcastTime(s float64, chunks int) (float64, error) {
+	if err := r.check(); err != nil {
+		return 0, err
+	}
+	if r.N == 1 || s <= 0 {
+		return 0, nil
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	chunk := s / float64(chunks)
+	steps := float64(r.N - 2 + chunks)
+	return steps * (chunk/r.Link.BandwidthBps + r.Link.LatencySec), nil
+}
+
+// BarrierTime returns the time of a synchronization barrier implemented as
+// a zero-payload all-reduce: purely latency-bound.
+func (r Ring) BarrierTime() (float64, error) {
+	if err := r.check(); err != nil {
+		return 0, err
+	}
+	return 2 * float64(r.N-1) * r.Link.LatencySec, nil
+}
+
+// AsymmetricTorus is a torus whose dimensions use different link classes —
+// e.g. intra-pod ICI dimensions plus a cross-pod DCN dimension.
+type AsymmetricTorus struct {
+	Dims  []int
+	Links []Link
+}
+
+// Validate checks the dimension/link pairing.
+func (t AsymmetricTorus) Validate() error {
+	if len(t.Dims) != len(t.Links) {
+		return fmt.Errorf("%w: %d dims, %d links", ErrBadRing, len(t.Dims), len(t.Links))
+	}
+	for i, d := range t.Dims {
+		if d < 1 || t.Links[i].BandwidthBps <= 0 {
+			return fmt.Errorf("%w: dim %d", ErrBadRing, i)
+		}
+	}
+	return nil
+}
+
+// Nodes returns the torus size.
+func (t AsymmetricTorus) Nodes() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// AllReduceTime composes per-dimension ring phases like Torus.AllReduceTime
+// but with each dimension's own link class.
+func (t AsymmetricTorus) AllReduceTime(s float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	cur := s
+	sizes := make([]float64, 0, len(t.Dims))
+	for i, d := range t.Dims {
+		r := Ring{N: d, Link: t.Links[i]}
+		rt, err := r.ReduceScatterTime(cur)
+		if err != nil {
+			return 0, err
+		}
+		total += rt
+		sizes = append(sizes, cur)
+		cur /= float64(d)
+	}
+	for i := len(t.Dims) - 1; i >= 0; i-- {
+		r := Ring{N: t.Dims[i], Link: t.Links[i]}
+		at, err := r.AllGatherTime(sizes[i])
+		if err != nil {
+			return 0, err
+		}
+		total += at
+	}
+	return total, nil
+}
+
+// BottleneckDim returns the index of the dimension contributing the most
+// time to an all-reduce of S bytes — the dimension topology engineering
+// should widen first.
+func (t AsymmetricTorus) BottleneckDim(s float64) (int, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	worst, worstT := -1, -1.0
+	cur := s
+	for i, d := range t.Dims {
+		r := Ring{N: d, Link: t.Links[i]}
+		rt, err := r.ReduceScatterTime(cur)
+		if err != nil {
+			return 0, err
+		}
+		if 2*rt > worstT {
+			worst, worstT = i, 2*rt
+		}
+		cur /= float64(d)
+	}
+	return worst, nil
+}

@@ -1,0 +1,84 @@
+package collective
+
+import "fmt"
+
+// Hierarchical models the hybrid ICI-DCN collective of §2.2.2 / Fig 2: for
+// models too large for one superpod, each pod reduce-scatters over its ICI
+// torus, the pods all-reduce the shards over the DCN (two counter-rotating
+// rings, Fig 2c), and each pod all-gathers the result over ICI. "The
+// transfers over the DCN ... are still on the critical path and delays can
+// substantially affect the model throughput."
+type Hierarchical struct {
+	// Pods is the number of superpods in the job.
+	Pods int
+	// PodTorus is the intra-pod slice topology.
+	PodTorus Torus
+	// DCN is the per-chip effective cross-pod link class.
+	DCN Link
+}
+
+// AllReduceTime returns the end-to-end hierarchical all-reduce time for S
+// bytes per chip.
+func (h Hierarchical) AllReduceTime(s float64) (float64, error) {
+	if h.Pods < 1 {
+		return 0, fmt.Errorf("%w: pods %d", ErrBadRing, h.Pods)
+	}
+	rs, err := h.PodTorus.ReduceScatterTime(s)
+	if err != nil {
+		return 0, err
+	}
+	ag, err := h.PodTorus.AllGatherTime(s)
+	if err != nil {
+		return 0, err
+	}
+	cross := 0.0
+	if h.Pods > 1 {
+		shard := s / float64(h.PodTorus.Nodes())
+		ring := Ring{N: h.Pods, Link: h.DCN}
+		cross, err = ring.AllReduceTime(shard)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return rs + cross + ag, nil
+}
+
+// DCNFraction returns the share of the hierarchical all-reduce spent on the
+// DCN phase — the critical-path exposure the paper optimizes with DCN-level
+// topology engineering.
+func (h Hierarchical) DCNFraction(s float64) (float64, error) {
+	total, err := h.AllReduceTime(s)
+	if err != nil || total == 0 {
+		return 0, err
+	}
+	if h.Pods <= 1 {
+		return 0, nil
+	}
+	shard := s / float64(h.PodTorus.Nodes())
+	ring := Ring{N: h.Pods, Link: h.DCN}
+	cross, err := ring.AllReduceTime(shard)
+	if err != nil {
+		return 0, err
+	}
+	return cross / total, nil
+}
+
+// SpeedupFromDCNTE returns the hierarchical all-reduce speedup obtained by
+// improving the cross-pod DCN bandwidth by the given factor (the effect of
+// reconfiguring the DCN lightwave fabric to add direct inter-pod trunks).
+func (h Hierarchical) SpeedupFromDCNTE(s, bwFactor float64) (float64, error) {
+	if bwFactor <= 0 {
+		return 0, fmt.Errorf("%w: bandwidth factor %g", ErrBadRing, bwFactor)
+	}
+	base, err := h.AllReduceTime(s)
+	if err != nil {
+		return 0, err
+	}
+	improved := h
+	improved.DCN = Link{BandwidthBps: h.DCN.BandwidthBps * bwFactor, LatencySec: h.DCN.LatencySec}
+	opt, err := improved.AllReduceTime(s)
+	if err != nil {
+		return 0, err
+	}
+	return base / opt, nil
+}

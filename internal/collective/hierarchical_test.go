@@ -1,0 +1,100 @@
+package collective
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func testHier() Hierarchical {
+	return Hierarchical{
+		Pods:     4,
+		PodTorus: Torus{Dims: []int{16, 16, 16}, Link: ICILink()},
+		DCN:      DCNLink(),
+	}
+}
+
+func TestHierarchicalAllReduceComposition(t *testing.T) {
+	h := testHier()
+	s := 256e6
+	total, err := h.AllReduceTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := h.PodTorus.ReduceScatterTime(s)
+	ag, _ := h.PodTorus.AllGatherTime(s)
+	ring := Ring{N: 4, Link: h.DCN}
+	cross, _ := ring.AllReduceTime(s / 4096)
+	want := rs + ag + cross
+	if math.Abs(total-want)/want > 1e-12 {
+		t.Fatalf("total %v != composition %v", total, want)
+	}
+}
+
+func TestHierarchicalSinglePodNoDCN(t *testing.T) {
+	h := testHier()
+	h.Pods = 1
+	s := 256e6
+	total, err := h.AllReduceTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, _ := h.PodTorus.AllReduceTime(s)
+	if math.Abs(total-ar)/ar > 1e-12 {
+		t.Fatalf("single pod %v != pod allreduce %v", total, ar)
+	}
+	f, _ := h.DCNFraction(s)
+	if f != 0 {
+		t.Fatalf("DCN fraction = %v for single pod", f)
+	}
+}
+
+func TestHierarchicalDCNOnCriticalPath(t *testing.T) {
+	// §2.2.2: DCN transfers are on the critical path — the fraction must
+	// be substantial despite the tiny shard, because DCN bandwidth is ~80×
+	// lower.
+	h := testHier()
+	f, err := h.DCNFraction(256e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= 0.01 || f >= 1 {
+		t.Fatalf("DCN fraction = %v", f)
+	}
+}
+
+func TestHierarchicalErrors(t *testing.T) {
+	h := testHier()
+	h.Pods = 0
+	if _, err := h.AllReduceTime(1); !errors.Is(err, ErrBadRing) {
+		t.Fatalf("err = %v", err)
+	}
+	h2 := testHier()
+	if _, err := h2.SpeedupFromDCNTE(1e8, 0); !errors.Is(err, ErrBadRing) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDCNTopologyEngineeringSpeedup(t *testing.T) {
+	// Doubling DCN bandwidth must speed the hierarchical collective up,
+	// but by less than 2× (ICI phases unchanged) — the paper's motivation
+	// for co-optimizing DCN topology with job placement.
+	h := testHier()
+	sp, err := h.SpeedupFromDCNTE(256e6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 1 || sp >= 2 {
+		t.Fatalf("speedup = %v, want in (1,2)", sp)
+	}
+}
+
+func TestMorePodsMoreDCNTime(t *testing.T) {
+	h2, h8 := testHier(), testHier()
+	h2.Pods, h8.Pods = 2, 8
+	t2, _ := h2.AllReduceTime(256e6)
+	t8, _ := h8.AllReduceTime(256e6)
+	if t8 <= t2 {
+		t.Fatalf("8 pods (%v) not slower than 2 pods (%v)", t8, t2)
+	}
+}

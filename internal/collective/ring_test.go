@@ -1,0 +1,137 @@
+package collective
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRingReduceScatterFormula(t *testing.T) {
+	r := Ring{N: 4, Link: Link{BandwidthBps: 1e9, LatencySec: 1e-6}}
+	// (n-1)·(S/(2n)/B + lat) = 3·(100e6/8/1e9 + 1e-6).
+	got, err := r.ReduceScatterTime(100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * (100e6/8/1e9 + 1e-6)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestRingAllReduceIsTwiceRS(t *testing.T) {
+	r := Ring{N: 8, Link: ICILink()}
+	rs, _ := r.ReduceScatterTime(1e9)
+	ar, _ := r.AllReduceTime(1e9)
+	if math.Abs(ar-2*rs) > 1e-15 {
+		t.Fatalf("allreduce %v != 2×rs %v", ar, rs)
+	}
+}
+
+func TestRingSingleMemberFree(t *testing.T) {
+	r := Ring{N: 1, Link: ICILink()}
+	if got, _ := r.AllReduceTime(1e9); got != 0 {
+		t.Fatalf("1-member allreduce = %v", got)
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	r := Ring{N: 0, Link: ICILink()}
+	if _, err := r.ReduceScatterTime(1); !errors.Is(err, ErrBadRing) {
+		t.Errorf("err = %v", err)
+	}
+	r2 := Ring{N: 4}
+	if _, err := r2.AllReduceTime(1); !errors.Is(err, ErrBadRing) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRingBandwidthScaling(t *testing.T) {
+	a := Ring{N: 16, Link: Link{BandwidthBps: 1e9}}
+	b := Ring{N: 16, Link: Link{BandwidthBps: 2e9}}
+	ta, _ := a.AllReduceTime(1e9)
+	tb, _ := b.AllReduceTime(1e9)
+	if math.Abs(ta/tb-2) > 1e-9 {
+		t.Fatalf("doubling bandwidth: ratio %v", ta/tb)
+	}
+}
+
+func TestLargeRingApproachesBandwidthBound(t *testing.T) {
+	// As n→∞ (latency-free), allreduce time → S/B per the 2(n-1)/n·S/(2B)
+	// limit.
+	r := Ring{N: 4096, Link: Link{BandwidthBps: 1e9}}
+	got, _ := r.AllReduceTime(1e9)
+	want := 1.0 // S/B seconds
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("asymptotic allreduce = %v, want ≈%v", got, want)
+	}
+}
+
+func TestTorusAllReduceVsSingleRing(t *testing.T) {
+	// A multi-dimensional torus all-reduce beats a single flat ring of the
+	// same node count (fewer latency-bound steps, same bandwidth bound).
+	link := Link{BandwidthBps: 50e9, LatencySec: 1e-6}
+	torus := Torus{Dims: []int{16, 16, 16}, Link: link}
+	flat := Ring{N: 4096, Link: link}
+	tt, err := torus.AllReduceTime(256e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, _ := flat.AllReduceTime(256e6)
+	if tt >= ft {
+		t.Fatalf("torus %v not faster than flat ring %v", tt, ft)
+	}
+}
+
+func TestTorusNodes(t *testing.T) {
+	if (Torus{Dims: []int{4, 4, 256}}).Nodes() != 4096 {
+		t.Fatal("Nodes wrong")
+	}
+	if (Torus{}).Nodes() != 1 {
+		t.Fatal("empty torus nodes")
+	}
+}
+
+func TestTorusAllReduceEmptyAndErrors(t *testing.T) {
+	tr := Torus{Link: ICILink()}
+	if got, err := tr.AllReduceTime(1e9); err != nil || got != 0 {
+		t.Fatalf("empty torus: %v, %v", got, err)
+	}
+	bad := Torus{Dims: []int{4, 0}, Link: ICILink()}
+	if _, err := bad.AllReduceTime(1e9); !errors.Is(err, ErrBadRing) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTorusRSThenAGEqualsAllReduce(t *testing.T) {
+	tr := Torus{Dims: []int{8, 16}, Link: ICILink()}
+	rs, _ := tr.ReduceScatterTime(1e8)
+	ag, _ := tr.AllGatherTime(1e8)
+	ar, _ := tr.AllReduceTime(1e8)
+	if math.Abs(ar-(rs+ag))/ar > 1e-12 {
+		t.Fatalf("allreduce %v != rs+ag %v", ar, rs+ag)
+	}
+}
+
+func TestAllToAllBisectionBound(t *testing.T) {
+	tr := Torus{Dims: []int{16, 16, 16}, Link: Link{BandwidthBps: 1e9}}
+	got, err := tr.AllToAllTime(1e6, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4096.0 * 1e6 / 2 / (512 * 1e9)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if _, err := tr.AllToAllTime(1e6, 0); err == nil {
+		t.Fatal("zero bisection accepted")
+	}
+}
+
+func TestICIFasterThanDCN(t *testing.T) {
+	// §2.2: ICI provides 50-100× more bandwidth than the DCN per TPU.
+	ratio := ICILink().BandwidthBps / DCNLink().BandwidthBps
+	if ratio < 50 || ratio > 100 {
+		t.Fatalf("ICI/DCN bandwidth ratio = %v, want in [50,100]", ratio)
+	}
+}

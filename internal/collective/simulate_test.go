@@ -1,0 +1,38 @@
+package collective
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulationMatchesRingFormula(t *testing.T) {
+	link := Link{BandwidthBps: 10e9, LatencySec: 2e-6}
+	for _, n := range []int{2, 4, 16, 64} {
+		r := Ring{N: n, Link: link}
+		want, _ := r.AllReduceTime(64e6)
+		got := SimulateRingAllReduce(n, 64e6, link)
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("n=%d: sim %v vs formula %v", n, got, want)
+		}
+	}
+}
+
+func TestSimulationMatchesTorusFormula(t *testing.T) {
+	link := ICILink()
+	dims := []int{4, 8, 16}
+	tr := Torus{Dims: dims, Link: link}
+	want, _ := tr.AllReduceTime(128e6)
+	got := SimulateTorusAllReduce(dims, 128e6, link)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("sim %v vs formula %v", got, want)
+	}
+}
+
+func TestSimulateDegenerate(t *testing.T) {
+	if SimulateRingAllReduce(1, 1e6, ICILink()) != 0 {
+		t.Fatal("1-node ring should be free")
+	}
+	if SimulateRingAllReduce(4, 0, ICILink()) != 0 {
+		t.Fatal("zero payload should be free")
+	}
+}

@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"lightwave/internal/core"
+	"lightwave/internal/topo"
+)
+
+// Example demonstrates the fabric lifecycle: compose a slice from
+// non-contiguous cubes, survive a cube failure via automatic swap, and
+// tear down.
+func Example() {
+	fabric, err := core.New(core.DefaultConfig(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	slice, err := fabric.ComposeSlice("demo", topo.Shape{X: 4, Y: 4, Z: 16}, []int{0, 2, 5, 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("circuits:", len(slice.Circuits))
+
+	replacement, err := fabric.MarkCubeFailed(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replacement:", replacement)
+
+	if err := fabric.DestroySlice("demo"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("live circuits:", fabric.TotalCircuits())
+	// Output:
+	// circuits: 192
+	// replacement: 1
+	// live circuits: 0
+}

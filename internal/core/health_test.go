@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"lightwave/internal/telemetry"
+	"lightwave/internal/topo"
+)
+
+func TestCubeSwapOnFailure(t *testing.T) {
+	f := newFabric(t, 8)
+	s, err := f.ComposeSlice("job", topo.Shape{X: 4, Y: 4, Z: 16}, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := f.MarkCubeFailed(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc < 4 {
+		t.Fatalf("replacement = %d, want a previously free cube", rc)
+	}
+	// The slice now runs on the replacement; its torus is fully wired.
+	s, _ = f.GetSlice("job")
+	for _, c := range s.Cubes {
+		if c == 1 {
+			t.Fatal("failed cube still in slice")
+		}
+	}
+	for _, r := range s.Circuits {
+		sw, _ := f.Switch(r.OCS)
+		if got, ok := sw.ConnectionOf(f.PortFor(r.OCS, r.North)); !ok || got != f.PortFor(r.OCS, r.South) {
+			t.Fatalf("circuit ocs=%d %d->%d missing after swap", r.OCS, r.North, r.South)
+		}
+	}
+	// Exactly 48 circuits per cube touch the swap; the rest are original.
+	if !f.CubeHealthy(rc) {
+		t.Fatal("replacement unhealthy")
+	}
+	if f.CubeHealthy(1) {
+		t.Fatal("failed cube still healthy")
+	}
+}
+
+func TestSwapPreservesOtherSlices(t *testing.T) {
+	f := newFabric(t, 12)
+	_, err := f.ComposeSlice("a", topo.Shape{X: 4, Y: 4, Z: 16}, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.ComposeSlice("b", topo.Shape{X: 4, Y: 4, Z: 16}, []int{4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.MarkCubeFailed(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range b.Circuits {
+		sw, _ := f.Switch(r.OCS)
+		if got, ok := sw.ConnectionOf(f.PortFor(r.OCS, r.North)); !ok || got != f.PortFor(r.OCS, r.South) {
+			t.Fatal("slice b disturbed by slice a's swap")
+		}
+	}
+}
+
+func TestSwapWithoutSpares(t *testing.T) {
+	f := newFabric(t, 2)
+	if _, err := f.ComposeSlice("all", topo.Shape{X: 4, Y: 4, Z: 8}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.MarkCubeFailed(0)
+	if !errors.Is(err, ErrNoSpareCube) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFailFreeCubeNoSwap(t *testing.T) {
+	f := newFabric(t, 4)
+	rc, err := f.MarkCubeFailed(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != -1 {
+		t.Fatalf("rc = %d for a free cube", rc)
+	}
+	if err := f.RepairCube(2); err != nil {
+		t.Fatal(err)
+	}
+	if !f.CubeHealthy(2) {
+		t.Fatal("cube not healthy after repair")
+	}
+}
+
+func TestHealthErrors(t *testing.T) {
+	f := newFabric(t, 4)
+	if _, err := f.MarkCubeFailed(-1); !errors.Is(err, ErrCubeRange) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := f.MarkCubeFailed(50); !errors.Is(err, ErrNotInstalled) {
+		t.Errorf("err = %v", err)
+	}
+	if err := f.RepairCube(99); !errors.Is(err, ErrCubeRange) {
+		t.Errorf("err = %v", err)
+	}
+	if f.CubeHealthy(99) {
+		t.Error("out-of-range cube healthy")
+	}
+}
+
+func TestBERMonitoringAlerts(t *testing.T) {
+	cfg := DefaultConfig(4)
+	sink := &telemetry.MemorySink{}
+	cfg.Alerts = sink
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy readings: two decades under the KP4 threshold (Fig 13).
+	for i := 0; i < 30; i++ {
+		if f.ObserveLinkBER(3, 7, 2e-6) {
+			t.Fatal("healthy BER flagged")
+		}
+	}
+	// A reading above the KP4 threshold must raise a Critical alert.
+	if !f.ObserveLinkBER(3, 7, 5e-4) {
+		t.Fatal("threshold breach not flagged")
+	}
+	alerts := sink.Alerts()
+	if len(alerts) != 1 || alerts[0].Severity != telemetry.Critical {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestBERDetectorsPerLink(t *testing.T) {
+	f := newFabric(t, 4)
+	f.ObserveLinkBER(0, 0, 1e-6)
+	f.ObserveLinkBER(1, 0, 1e-6)
+	if len(f.berDetectors) != 2 {
+		t.Fatalf("%d detectors", len(f.berDetectors))
+	}
+}

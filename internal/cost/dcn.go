@@ -1,0 +1,78 @@
+package cost
+
+import "lightwave/internal/eps"
+
+// Spine-full vs spine-free DCN comparison (§2.1/§4.2, results from [47]):
+// replacing the spine layer with OCSes eliminates the spine chassis and the
+// spine-side transceivers, delivering ≈30% capex and ≈41% power reduction.
+
+// DCNParams sizes a datacenter network of aggregation blocks.
+type DCNParams struct {
+	// AggregationBlocks is the number of ABs.
+	AggregationBlocks int
+	// UplinksPerBlock is the number of fabric-facing links per AB.
+	UplinksPerBlock int
+	// ABCost / ABPowerW cover one aggregation block (its own switches and
+	// server-facing optics), identical across both designs.
+	ABCost   float64
+	ABPowerW float64
+}
+
+// DefaultDCN returns a representative Jupiter-scale configuration.
+func DefaultDCN() DCNParams {
+	return DCNParams{
+		AggregationBlocks: 64,
+		UplinksPerBlock:   256,
+		ABCost:            1000,
+		ABPowerW:          5000,
+	}
+}
+
+// abComponent wraps the AB cost/power as a catalog line.
+func (p DCNParams) abComponent() Component {
+	return Component{Name: "aggregation-block", CostUnits: p.ABCost, PowerW: p.ABPowerW}
+}
+
+// spinePort wraps the per-port share of a spine block.
+func spinePort() Component {
+	return Component{Name: "spine-port", CostUnits: eps.SpinePortCost, PowerW: eps.SpinePortPowerW}
+}
+
+// ocsPort wraps the per-duplex-port share of a Palomar OCS.
+func ocsPort() Component {
+	return Component{
+		Name:      "ocs-port",
+		CostUnits: PalomarOCS.CostUnits / 128,
+		PowerW:    PalomarOCS.PowerW / 128,
+	}
+}
+
+// SpineFullDCN returns the traditional Fig 1a design: every AB uplink runs
+// to a spine block port with transceivers at both ends.
+func (p DCNParams) SpineFullDCN() BOM {
+	b := BOM{Name: "spine-full-dcn"}
+	uplinks := p.AggregationBlocks * p.UplinksPerBlock
+	b.Add(p.abComponent(), p.AggregationBlocks)
+	b.Add(BidiModule, 2*uplinks) // AB side + spine side
+	b.Add(spinePort(), uplinks)
+	return b
+}
+
+// SpineFreeDCN returns the Fig 1b design: AB uplinks terminate on OCS
+// ports; there is no spine layer and no spine-side transceivers.
+func (p DCNParams) SpineFreeDCN() BOM {
+	b := BOM{Name: "spine-free-dcn"}
+	uplinks := p.AggregationBlocks * p.UplinksPerBlock
+	b.Add(p.abComponent(), p.AggregationBlocks)
+	b.Add(BidiModule, uplinks) // AB side only
+	b.Add(ocsPort(), uplinks)
+	return b
+}
+
+// DCNSavings returns the capex and power reductions of the spine-free
+// design relative to the spine-full design.
+func (p DCNParams) DCNSavings() (capex, power float64) {
+	full := p.SpineFullDCN()
+	free := p.SpineFreeDCN()
+	return 1 - free.Cost()/full.Cost(), 1 - free.Power()/full.Power()
+}

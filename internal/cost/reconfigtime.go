@@ -1,0 +1,42 @@
+package cost
+
+import "math"
+
+// Fabric-wide reconfiguration time per technology: MEMS and piezo switches
+// move all mirrors of a batch concurrently, so a full-fabric topology
+// change costs one switching time regardless of circuit count; the robotic
+// patch panel "suffers from slow switching speeds that are further
+// compounded by the need to serialize switching of connections" (App C.2).
+
+// ReconfigTime returns the time to apply `circuits` cross-connect changes
+// on one switch of the given technology.
+func (t OCSTechnology) ReconfigTime(circuits int) float64 {
+	if circuits <= 0 {
+		return 0
+	}
+	if t.PerConnectionSwitching {
+		return float64(circuits) * t.SwitchingTime
+	}
+	return t.SwitchingTime
+}
+
+// PodReconfigTime returns the time to reconfigure an entire superpod slice
+// (circuits spread over numSwitches switches working in parallel).
+func (t OCSTechnology) PodReconfigTime(circuits, numSwitches int) float64 {
+	if numSwitches <= 0 {
+		return math.Inf(1)
+	}
+	per := (circuits + numSwitches - 1) / numSwitches
+	return t.ReconfigTime(per)
+}
+
+// ReconfigComparison returns the full-pod reconfiguration time (3072
+// circuits over 48 switches) for every Table C.1 technology, in the
+// table's order.
+func ReconfigComparison() map[string]float64 {
+	out := make(map[string]float64)
+	for _, t := range Technologies() {
+		out[t.Name] = t.PodReconfigTime(3072, 48)
+	}
+	return out
+}

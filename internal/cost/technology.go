@@ -1,0 +1,122 @@
+package cost
+
+// Table C.1: cost, scale, performance, and reliability/availability
+// comparison of OCS technologies.
+
+// CostClass is a coarse relative-cost bucket.
+type CostClass int
+
+// Cost classes.
+const (
+	CostUnknown CostClass = iota
+	CostLow
+	CostMedium
+	CostHigh
+)
+
+// String returns the table's label.
+func (c CostClass) String() string {
+	switch c {
+	case CostLow:
+		return "Low"
+	case CostMedium:
+		return "Medium"
+	case CostHigh:
+		return "High"
+	default:
+		return "TBD"
+	}
+}
+
+// OCSTechnology is one row of Table C.1.
+type OCSTechnology struct {
+	Name            string
+	RelativeCost    CostClass
+	MaxPortCount    int
+	SwitchingTime   float64 // seconds, representative
+	InsertionLossDB float64 // upper bound, including connectors
+	DrivingVoltageV float64 // 0 = not applicable
+	Latching        bool    // keeps state across power failure
+	// PerConnectionSwitching marks technologies that must serialize
+	// reconfiguration (the robotic patch panel).
+	PerConnectionSwitching bool
+}
+
+// Technologies returns Table C.1.
+func Technologies() []OCSTechnology {
+	return []OCSTechnology{
+		{Name: "MEMS", RelativeCost: CostMedium, MaxPortCount: 320,
+			SwitchingTime: 5e-3, InsertionLossDB: 3, DrivingVoltageV: 100, Latching: false},
+		{Name: "Robotic", RelativeCost: CostMedium, MaxPortCount: 1008,
+			SwitchingTime: 60, InsertionLossDB: 1, DrivingVoltageV: 0, Latching: true,
+			PerConnectionSwitching: true},
+		{Name: "Piezo", RelativeCost: CostHigh, MaxPortCount: 576,
+			SwitchingTime: 5e-3, InsertionLossDB: 2.5, DrivingVoltageV: 10, Latching: false},
+		{Name: "Guided Wave", RelativeCost: CostLow, MaxPortCount: 16,
+			SwitchingTime: 10e-9, InsertionLossDB: 6, DrivingVoltageV: 1, Latching: false},
+		{Name: "Wavelength", RelativeCost: CostUnknown, MaxPortCount: 100,
+			SwitchingTime: 10e-9, InsertionLossDB: 6, DrivingVoltageV: 0, Latching: true},
+	}
+}
+
+// Requirement captures the §2.3 requirements relevant to technology
+// selection.
+type Requirement struct {
+	MinPorts         int
+	MaxInsertionDB   float64
+	MaxSwitchingTime float64
+}
+
+// SuperpodRequirement returns the ML use case's needs: ≥128 duplex ports,
+// <3 dB loss, and reconfiguration well under the slice-scheduling
+// timescale.
+func SuperpodRequirement() Requirement {
+	return Requirement{MinPorts: 128, MaxInsertionDB: 3, MaxSwitchingTime: 1}
+}
+
+// Meets reports whether a technology satisfies a requirement.
+func (t OCSTechnology) Meets(r Requirement) bool {
+	return t.MaxPortCount >= r.MinPorts &&
+		t.InsertionLossDB <= r.MaxInsertionDB &&
+		t.SwitchingTime <= r.MaxSwitchingTime &&
+		!t.PerConnectionSwitching
+}
+
+// SelectTechnology returns the technologies meeting a requirement,
+// best-cost first (Low < Medium < High < TBD in preference order, ties by
+// port count descending).
+func SelectTechnology(r Requirement) []OCSTechnology {
+	var out []OCSTechnology
+	for _, t := range Technologies() {
+		if t.Meets(r) {
+			out = append(out, t)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && better(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func better(a, b OCSTechnology) bool {
+	ra, rb := rank(a.RelativeCost), rank(b.RelativeCost)
+	if ra != rb {
+		return ra < rb
+	}
+	return a.MaxPortCount > b.MaxPortCount
+}
+
+func rank(c CostClass) int {
+	switch c {
+	case CostLow:
+		return 0
+	case CostMedium:
+		return 1
+	case CostHigh:
+		return 2
+	default:
+		return 3
+	}
+}

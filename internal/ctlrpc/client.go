@@ -1,0 +1,154 @@
+package ctlrpc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a synchronous control-protocol client. It is safe for
+// concurrent use; calls are serialized on the wire.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	reader *bufio.Reader
+	nextID uint64
+}
+
+// Dial connects to a fabric daemon.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("ctlrpc: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, reader: bufio.NewReader(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one request/response exchange.
+func (c *Client) call(method string, params, result any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := Request{ID: c.nextID, Method: method}
+	if params != nil {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("ctlrpc: encoding params: %w", err)
+		}
+		req.Params = raw
+	}
+	line, err := json.Marshal(&req)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := c.conn.Write(line); err != nil {
+		return fmt.Errorf("ctlrpc: write: %w", err)
+	}
+	respLine, err := c.reader.ReadBytes('\n')
+	if err != nil {
+		return fmt.Errorf("ctlrpc: read: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(respLine, &resp); err != nil {
+		return fmt.Errorf("ctlrpc: decoding response: %w", err)
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("ctlrpc: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("ctlrpc: server: %s", resp.Error)
+	}
+	if result != nil {
+		if err := json.Unmarshal(resp.Result, result); err != nil {
+			return fmt.Errorf("ctlrpc: decoding result: %w", err)
+		}
+	}
+	return nil
+}
+
+// Status fetches fabric state.
+func (c *Client) Status() (StatusResult, error) {
+	var r StatusResult
+	err := c.call(MethodStatus, nil, &r)
+	return r, err
+}
+
+// Compose composes a slice.
+func (c *Client) Compose(name string, shape [3]int, cubes []int) (SliceResult, error) {
+	var r SliceResult
+	err := c.call(MethodCompose, ComposeParams{Name: name, Shape: shape, Cubes: cubes}, &r)
+	return r, err
+}
+
+// Destroy destroys a slice.
+func (c *Client) Destroy(name string) error {
+	return c.call(MethodDestroy, NameParams{Name: name}, nil)
+}
+
+// Slice fetches a slice's details.
+func (c *Client) Slice(name string) (SliceResult, error) {
+	var r SliceResult
+	err := c.call(MethodSlice, NameParams{Name: name}, &r)
+	return r, err
+}
+
+// Reshape changes a slice's shape in place; cubes may be nil to reuse the
+// current cube set.
+func (c *Client) Reshape(name string, shape [3]int, cubes []int) (SliceResult, error) {
+	var r SliceResult
+	err := c.call(MethodReshape, ReshapeParams{Name: name, Shape: shape, Cubes: cubes}, &r)
+	return r, err
+}
+
+// FailCube reports a cube failure and returns the replacement cube (-1
+// when no slice was affected).
+func (c *Client) FailCube(cube int) (int, error) {
+	var r FailCubeResult
+	err := c.call(MethodFailCube, CubeParams{Cube: cube}, &r)
+	return r.Replacement, err
+}
+
+// RepairCube returns a cube to service.
+func (c *Client) RepairCube(cube int) error {
+	return c.call(MethodRepairCube, CubeParams{Cube: cube}, nil)
+}
+
+// InstallCube adds a cube to the fabric.
+func (c *Client) InstallCube(cube int) error {
+	return c.call(MethodInstallCube, CubeParams{Cube: cube}, nil)
+}
+
+// RepairLink repatches a cube's damaged fiber pair on an OCS to a spare
+// port and returns the spare port id.
+func (c *Client) RepairLink(ocsID, cube int) (int, error) {
+	var r RepairLinkResult
+	err := c.call(MethodRepairLink, RepairLinkParams{OCS: ocsID, Cube: cube}, &r)
+	return r.SparePort, err
+}
+
+// Metrics fetches the daemon's telemetry exposition (empty when metrics
+// are disabled).
+func (c *Client) Metrics() (string, error) {
+	var r MetricsResult
+	err := c.call(MethodMetrics, nil, &r)
+	return r.Text, err
+}
+
+// ObserveBER feeds a BER sample and reports whether it was anomalous.
+func (c *Client) ObserveBER(ocsID, port int, ber float64) (bool, error) {
+	var r ObserveBERResult
+	err := c.call(MethodObserveBER, ObserveBERParams{OCS: ocsID, Port: port, BER: ber}, &r)
+	return r.Anomalous, err
+}

@@ -1,0 +1,294 @@
+package ctlrpc
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lightwave/internal/core"
+	"lightwave/internal/telemetry"
+)
+
+// startServer brings up a fabric daemon on a loopback listener and returns
+// a connected client.
+func startServer(t *testing.T, cubes int) *Client {
+	t.Helper()
+	f, err := core.New(core.DefaultConfig(cubes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := NewServer(f)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ctx, lis)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	c, err := Dial(lis.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	c := startServer(t, 8)
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InstalledCubes != 8 || len(st.FreeCubes) != 8 || st.TotalCircuits != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestComposeDestroyOverWire(t *testing.T) {
+	c := startServer(t, 8)
+	sl, err := c.Compose("job", [3]int{4, 4, 16}, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Circuits != 192 || sl.Name != "job" {
+		t.Fatalf("slice = %+v", sl)
+	}
+	if sl.WorstMarginDB <= 0 {
+		t.Fatal("no margin reported")
+	}
+	got, err := c.Slice("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "job" || len(got.Cubes) != 4 {
+		t.Fatalf("slice fetch = %+v", got)
+	}
+	st, _ := c.Status()
+	if len(st.Slices) != 1 || st.Slices[0] != "job" || st.TotalCircuits != 192 {
+		t.Fatalf("status = %+v", st)
+	}
+	if err := c.Destroy("job"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = c.Status()
+	if st.TotalCircuits != 0 {
+		t.Fatalf("circuits after destroy = %d", st.TotalCircuits)
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	c := startServer(t, 4)
+	if _, err := c.Compose("bad", [3]int{3, 4, 4}, []int{0}); err == nil {
+		t.Fatal("invalid shape accepted")
+	} else if !strings.Contains(err.Error(), "server:") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Destroy("missing"); err == nil {
+		t.Fatal("missing slice accepted")
+	}
+	if _, err := c.Slice("missing"); err == nil {
+		t.Fatal("missing slice fetched")
+	}
+}
+
+func TestFailRepairInstallOverWire(t *testing.T) {
+	c := startServer(t, 4)
+	if _, err := c.Compose("j", [3]int{4, 4, 8}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := c.FailCube(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc < 2 {
+		t.Fatalf("replacement = %d", rc)
+	}
+	if err := c.RepairCube(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallCube(10); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Status()
+	if st.InstalledCubes != 5 {
+		t.Fatalf("installed = %d", st.InstalledCubes)
+	}
+}
+
+func TestObserveBEROverWire(t *testing.T) {
+	c := startServer(t, 2)
+	anom, err := c.ObserveBER(0, 0, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anom {
+		t.Fatal("healthy BER flagged")
+	}
+	anom, err = c.ObserveBER(0, 0, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anom {
+		t.Fatal("KP4 breach not flagged")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := startServer(t, 16)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Status(); err != nil {
+				errs <- err
+			}
+			if _, err := c.ObserveBER(i%48, i, 1e-6); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	c := startServer(t, 2)
+	err := c.call("bogus", nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMalformedRequestDoesNotKillConnection(t *testing.T) {
+	c := startServer(t, 2)
+	// Send garbage directly, then a valid request on the same connection.
+	if _, err := c.conn.Write([]byte("not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the error response for the garbage line.
+	if _, err := c.reader.ReadBytes('\n'); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(); err != nil {
+		t.Fatalf("connection broken after malformed request: %v", err)
+	}
+}
+
+func TestReshapeOverWire(t *testing.T) {
+	c := startServer(t, 8)
+	if _, err := c.Compose("j", [3]int{4, 4, 16}, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	sl, err := c.Reshape("j", [3]int{4, 8, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Shape != [3]int{4, 8, 8} {
+		t.Fatalf("shape = %v", sl.Shape)
+	}
+	if _, err := c.Reshape("missing", [3]int{4, 4, 4}, nil); err == nil {
+		t.Fatal("missing slice reshaped")
+	}
+}
+
+func TestMetricsOverWire(t *testing.T) {
+	// startServer builds the fabric without a registry: empty exposition.
+	c := startServer(t, 2)
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "" {
+		t.Fatalf("metrics without a registry = %q", text)
+	}
+}
+
+func TestMetricsWithRegistry(t *testing.T) {
+	cfg := core.DefaultConfig(4)
+	cfg.Metrics = telemetry.NewRegistry()
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = NewServer(f).Serve(ctx, lis)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	c, err := Dial(lis.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	if _, err := c.Compose("j", [3]int{4, 4, 4}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "fabric.slices_composed 1") {
+		t.Fatalf("exposition missing slice counter:\n%s", text)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+}
+
+func TestServeStopsOnContextCancel(t *testing.T) {
+	f, err := core.New(core.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- NewServer(f).Serve(ctx, lis) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on cancel", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not stop on context cancel")
+	}
+}
+
+func TestServerConnectionCloseMidStream(t *testing.T) {
+	c := startServer(t, 2)
+	// Close the client abruptly; the server must keep serving others.
+	c2 := startServer(t, 2)
+	c.Close()
+	if _, err := c2.Status(); err != nil {
+		t.Fatalf("second server session broken: %v", err)
+	}
+}

@@ -1,0 +1,228 @@
+package ctlrpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"lightwave/internal/core"
+	"lightwave/internal/topo"
+)
+
+// Server serves the control protocol for one fabric. Fabric methods are
+// not concurrency-safe, so the server serializes all mutations.
+type Server struct {
+	mu     sync.Mutex
+	fabric *core.Fabric
+}
+
+// NewServer wraps a fabric.
+func NewServer(f *core.Fabric) *Server {
+	return &Server{fabric: f}
+}
+
+// Serve accepts connections until the listener closes or ctx is cancelled.
+func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		lis.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handleConn(ctx, conn)
+		}()
+	}
+}
+
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = fmt.Sprintf("bad request: %v", err)
+		} else {
+			resp = s.dispatch(req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := Response{ID: req.ID}
+	result, err := s.call(req.Method, req.Params)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		resp.Error = fmt.Sprintf("encoding result: %v", err)
+		return resp
+	}
+	resp.Result = raw
+	return resp
+}
+
+func (s *Server) call(method string, params json.RawMessage) (any, error) {
+	switch method {
+	case MethodStatus:
+		st := StatusResult{
+			InstalledCubes: s.fabric.InstalledCubes(),
+			FreeCubes:      s.fabric.FreeCubes(),
+			TotalCircuits:  s.fabric.TotalCircuits(),
+		}
+		for _, sl := range s.fabric.Slices() {
+			st.Slices = append(st.Slices, sl.Name)
+		}
+		return st, nil
+
+	case MethodCompose:
+		var p ComposeParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		shape := topo.Shape{X: p.Shape[0], Y: p.Shape[1], Z: p.Shape[2]}
+		sl, err := s.fabric.ComposeSlice(p.Name, shape, p.Cubes)
+		if err != nil {
+			return nil, err
+		}
+		return sliceResult(sl), nil
+
+	case MethodDestroy:
+		var p NameParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		if err := s.fabric.DestroySlice(p.Name); err != nil {
+			return nil, err
+		}
+		return struct{}{}, nil
+
+	case MethodSlice:
+		var p NameParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		sl, err := s.fabric.GetSlice(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		return sliceResult(sl), nil
+
+	case MethodFailCube:
+		var p CubeParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		rc, err := s.fabric.MarkCubeFailed(p.Cube)
+		if err != nil {
+			return nil, err
+		}
+		return FailCubeResult{Replacement: rc}, nil
+
+	case MethodRepairCube:
+		var p CubeParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		if err := s.fabric.RepairCube(p.Cube); err != nil {
+			return nil, err
+		}
+		return struct{}{}, nil
+
+	case MethodInstallCube:
+		var p CubeParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		if err := s.fabric.InstallCube(p.Cube); err != nil {
+			return nil, err
+		}
+		return struct{}{}, nil
+
+	case MethodRepairLink:
+		var p RepairLinkParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		spare, err := s.fabric.RepairLink(topo.OCSID(p.OCS), p.Cube)
+		if err != nil {
+			return nil, err
+		}
+		return RepairLinkResult{SparePort: int(spare)}, nil
+
+	case MethodMetrics:
+		reg := s.fabric.Metrics()
+		if reg == nil {
+			return MetricsResult{}, nil
+		}
+		return MetricsResult{Text: reg.Text()}, nil
+
+	case MethodReshape:
+		var p ReshapeParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		shape := topo.Shape{X: p.Shape[0], Y: p.Shape[1], Z: p.Shape[2]}
+		sl, err := s.fabric.ReshapeSlice(p.Name, shape, p.Cubes)
+		if err != nil {
+			return nil, err
+		}
+		return sliceResult(sl), nil
+
+	case MethodObserveBER:
+		var p ObserveBERParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		anom := s.fabric.ObserveLinkBER(topo.OCSID(p.OCS), p.Port, p.BER)
+		return ObserveBERResult{Anomalous: anom}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func sliceResult(sl *core.Slice) SliceResult {
+	return SliceResult{
+		Name:          sl.Name,
+		Shape:         [3]int{sl.Shape.X, sl.Shape.Y, sl.Shape.Z},
+		Cubes:         sl.Cubes,
+		Circuits:      len(sl.Circuits),
+		WorstMarginDB: sl.WorstMarginDB,
+	}
+}

@@ -1,0 +1,56 @@
+package dcn
+
+import (
+	"testing"
+
+	"lightwave/internal/ocs"
+)
+
+func BenchmarkEngineer(b *testing.B) {
+	demand := SkewedDemand(16, 1e9, 8, 50, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := Engineer(16, 40, demand); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	top, err := Engineer(16, 40, SkewedDemand(16, 1e9, 8, 50, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if got := top.Decompose(); len(got) == 0 {
+			b.Fatal("no matchings")
+		}
+	}
+}
+
+func BenchmarkProgramFabric(b *testing.B) {
+	top, err := Engineer(12, 22, SkewedDemand(12, 1e9, 6, 40, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f, err := NewFabric(12, 30, ocs.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := f.Program(top); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFluidThroughput(b *testing.B) {
+	top, _ := UniformMesh(12, 33)
+	demand := SkewedDemand(12, 0.5e9, 12, 300, 7)
+	for i := 0; i < b.N; i++ {
+		if got := AchievedThroughput(top, demand, 50e9); got <= 0 {
+			b.Fatal("no throughput")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package dcn
+
+import (
+	"errors"
+
+	"lightwave/internal/ocs"
+	"lightwave/internal/sim"
+)
+
+// The campus use case (§1, §6): clusters connected by a lightwave fabric
+// whose traffic shifts "with the turnup and turndown of services". The
+// campus loop re-engineers the inter-cluster topology every epoch as
+// services come and go, applying each new topology incrementally so churn
+// stays proportional to the demand shift rather than the fabric size.
+
+// Service is one long-lived cluster-to-cluster traffic source.
+type Service struct {
+	Src, Dst   int
+	Bps        float64
+	Start, End int // active for epochs in [Start, End)
+}
+
+// CampusConfig drives the campus simulation.
+type CampusConfig struct {
+	Clusters int
+	Uplinks  int
+	Switches int
+	Epochs   int
+	// BaseBps is the always-on background demand between every pair.
+	BaseBps float64
+	// Services is the churn workload; use RandomServices for a synthetic
+	// one.
+	Services []Service
+	// TrunkBps is the per-trunk rate for throughput accounting.
+	TrunkBps float64
+	Seed     uint64
+}
+
+// RandomServices generates n services with random endpoints, sizes, and
+// lifetimes across the epoch horizon.
+func RandomServices(n, clusters, epochs int, meanBps float64, seed uint64) []Service {
+	rng := sim.NewRand(seed)
+	out := make([]Service, 0, n)
+	for i := 0; i < n; i++ {
+		src := rng.Intn(clusters)
+		dst := rng.Intn(clusters)
+		for dst == src {
+			dst = rng.Intn(clusters)
+		}
+		start := rng.Intn(epochs)
+		dur := 1 + rng.Intn(epochs-start)
+		out = append(out, Service{
+			Src: src, Dst: dst,
+			Bps:   meanBps * (0.5 + rng.Float64()),
+			Start: start, End: start + dur,
+		})
+	}
+	return out
+}
+
+// CampusEpoch is one epoch's outcome.
+type CampusEpoch struct {
+	Epoch          int
+	ActiveServices int
+	// Churn counts circuit changes (established + torn down) this epoch.
+	Churn int
+	// Kept counts trunks untouched across the re-engineering.
+	Kept int
+	// OfferedBps and AchievedBps measure the epoch's demand service.
+	OfferedBps, AchievedBps float64
+	// StaticAchievedBps is what a never-reconfigured uniform mesh would
+	// deliver for the same demand.
+	StaticAchievedBps float64
+}
+
+// ErrCampusConfig is returned for degenerate configurations.
+var ErrCampusConfig = errors.New("dcn: invalid campus configuration")
+
+// RunCampus runs the re-engineering loop over physical OCS hardware and
+// returns the per-epoch trajectory.
+func RunCampus(cfg CampusConfig) ([]CampusEpoch, error) {
+	if cfg.Clusters < 2 || cfg.Epochs < 1 || cfg.Uplinks < cfg.Clusters-1 {
+		return nil, ErrCampusConfig
+	}
+	fabric, err := NewFabric(cfg.Clusters, cfg.Switches, ocs.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	static, err := UniformMesh(cfg.Clusters, cfg.Uplinks)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []CampusEpoch
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		demand := UniformDemand(cfg.Clusters, cfg.BaseBps)
+		active := 0
+		for _, s := range cfg.Services {
+			if epoch >= s.Start && epoch < s.End {
+				demand[s.Src][s.Dst] += s.Bps
+				demand[s.Dst][s.Src] += s.Bps
+				active++
+			}
+		}
+		top, err := Engineer(cfg.Clusters, cfg.Uplinks, demand)
+		if err != nil {
+			return nil, err
+		}
+		res, err := fabric.Program(top)
+		if err != nil {
+			return nil, err
+		}
+		ep := CampusEpoch{
+			Epoch:             epoch,
+			ActiveServices:    active,
+			Churn:             res.Established + res.TornDown,
+			Kept:              res.Kept,
+			OfferedBps:        TotalDemand(demand),
+			AchievedBps:       AchievedThroughput(top, demand, cfg.TrunkBps),
+			StaticAchievedBps: AchievedThroughput(static, demand, cfg.TrunkBps),
+		}
+		out = append(out, ep)
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package dcn
+
+import (
+	"errors"
+	"testing"
+)
+
+func campusConfig() CampusConfig {
+	clusters, epochs := 10, 12
+	return CampusConfig{
+		Clusters: clusters,
+		Uplinks:  14,
+		Switches: 22,
+		Epochs:   epochs,
+		BaseBps:  0.5e9,
+		Services: RandomServices(20, clusters, epochs, 150e9, 7),
+		TrunkBps: 12.5e9, // 100G trunks
+		Seed:     1,
+	}
+}
+
+func TestCampusRuns(t *testing.T) {
+	eps, err := RunCampus(campusConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 12 {
+		t.Fatalf("%d epochs", len(eps))
+	}
+	sawActive := false
+	for _, e := range eps {
+		if e.OfferedBps <= 0 || e.AchievedBps <= 0 {
+			t.Fatalf("epoch %d: offered %v achieved %v", e.Epoch, e.OfferedBps, e.AchievedBps)
+		}
+		if e.ActiveServices > 0 {
+			sawActive = true
+		}
+	}
+	if !sawActive {
+		t.Fatal("no epoch had active services")
+	}
+}
+
+func TestCampusChurnStaysIncremental(t *testing.T) {
+	eps, err := RunCampus(campusConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 0 builds the whole fabric; later epochs must mostly keep
+	// trunks in place (the background mesh persists).
+	build := eps[0].Churn
+	for _, e := range eps[1:] {
+		if e.Kept == 0 {
+			t.Fatalf("epoch %d kept nothing", e.Epoch)
+		}
+		if e.Churn >= build {
+			t.Fatalf("epoch %d churn %d not below initial build %d", e.Epoch, e.Churn, build)
+		}
+	}
+}
+
+func TestCampusBeatsStaticMesh(t *testing.T) {
+	// Cumulative delivered bytes across the horizon: the re-engineered
+	// fabric must beat the never-reconfigured mesh under shifting hot
+	// services.
+	eps, err := RunCampus(campusConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engineered, static float64
+	for _, e := range eps {
+		engineered += e.AchievedBps
+		static += e.StaticAchievedBps
+	}
+	if engineered <= static*1.02 {
+		t.Fatalf("engineered %.3g not better than static %.3g", engineered, static)
+	}
+}
+
+func TestCampusValidation(t *testing.T) {
+	cfg := campusConfig()
+	cfg.Clusters = 1
+	if _, err := RunCampus(cfg); !errors.Is(err, ErrCampusConfig) {
+		t.Errorf("err = %v", err)
+	}
+	cfg = campusConfig()
+	cfg.Epochs = 0
+	if _, err := RunCampus(cfg); !errors.Is(err, ErrCampusConfig) {
+		t.Errorf("err = %v", err)
+	}
+	cfg = campusConfig()
+	cfg.Uplinks = 2
+	if _, err := RunCampus(cfg); !errors.Is(err, ErrCampusConfig) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRandomServicesProperties(t *testing.T) {
+	svcs := RandomServices(30, 8, 10, 50e9, 3)
+	if len(svcs) != 30 {
+		t.Fatalf("%d services", len(svcs))
+	}
+	for _, s := range svcs {
+		if s.Src == s.Dst {
+			t.Fatal("self-service")
+		}
+		if s.Start < 0 || s.End <= s.Start || s.End > 10 {
+			t.Fatalf("bad lifetime %d..%d", s.Start, s.End)
+		}
+		if s.Bps <= 0 {
+			t.Fatal("non-positive service rate")
+		}
+	}
+}

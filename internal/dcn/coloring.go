@@ -1,0 +1,246 @@
+package dcn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lightwave/internal/sim"
+)
+
+// Edge coloring of the trunk multigraph: every trunk must be assigned to a
+// switch (color) such that no block appears twice on one switch (each block
+// has one strand per OCS). Greedy assignment alone can wedge, so conflicts
+// are repaired with Kempe-chain recoloring — the constructive step behind
+// Shannon's multigraph edge-coloring bound. An existing (partial)
+// assignment can be passed in so reprogramming keeps most trunks where they
+// already are.
+
+// edgeAssignment maps expanded trunk units to colors.
+type edgeAssignment struct {
+	blocks int
+	colors int
+	// ends[e] = the two blocks of edge e.
+	ends [][2]int
+	// color[e] = assigned color, -1 if unassigned.
+	color []int
+	// occ[v][c] = edge occupying color c at block v, -1 if free.
+	occ [][]int
+}
+
+// ErrColoring is returned when the trunk set cannot be packed into the
+// available switches.
+var ErrColoring = errors.New("dcn: trunk set does not fit the switch count")
+
+func newEdgeAssignment(blocks, colors int) *edgeAssignment {
+	a := &edgeAssignment{blocks: blocks, colors: colors}
+	a.occ = make([][]int, blocks)
+	for v := range a.occ {
+		a.occ[v] = make([]int, colors)
+		for c := range a.occ[v] {
+			a.occ[v][c] = -1
+		}
+	}
+	return a
+}
+
+// addEdge registers a trunk unit, optionally pre-colored (existing
+// hardware state). Pre-colored conflicts are programming errors.
+func (a *edgeAssignment) addEdge(u, v, color int) (int, error) {
+	e := len(a.ends)
+	a.ends = append(a.ends, [2]int{u, v})
+	a.color = append(a.color, -1)
+	if color >= 0 {
+		if a.occ[u][color] != -1 || a.occ[v][color] != -1 {
+			return 0, fmt.Errorf("dcn: pre-colored edge %d-%d conflicts on color %d", u, v, color)
+		}
+		a.color[e] = color
+		a.occ[u][color] = e
+		a.occ[v][color] = e
+	}
+	return e, nil
+}
+
+func (a *edgeAssignment) freeColorAt(v int) int {
+	for c := 0; c < a.colors; c++ {
+		if a.occ[v][c] == -1 {
+			return c
+		}
+	}
+	return -1
+}
+
+func (a *edgeAssignment) freeAtBoth(u, v int) int {
+	for c := 0; c < a.colors; c++ {
+		if a.occ[u][c] == -1 && a.occ[v][c] == -1 {
+			return c
+		}
+	}
+	return -1
+}
+
+func (a *edgeAssignment) setColor(e, c int) {
+	u, v := a.ends[e][0], a.ends[e][1]
+	if old := a.color[e]; old >= 0 {
+		a.occ[u][old] = -1
+		a.occ[v][old] = -1
+	}
+	a.color[e] = c
+	a.occ[u][c] = e
+	a.occ[v][c] = e
+}
+
+// other returns the endpoint of e that is not v.
+func (a *edgeAssignment) other(e, v int) int {
+	if a.ends[e][0] == v {
+		return a.ends[e][1]
+	}
+	return a.ends[e][0]
+}
+
+// chainFrom collects the alternating x/y chain starting at block v's
+// x-edge. In a proper partial coloring every block has at most one edge of
+// each color, so the x/y subgraph is a disjoint union of paths and cycles:
+// the walk either terminates (path) or returns to v (cycle).
+func (a *edgeAssignment) chainFrom(v, x, y int) (edges []int, cyclic bool) {
+	cur, want := v, x
+	for {
+		e := a.occ[cur][want]
+		if e == -1 {
+			return edges, false
+		}
+		edges = append(edges, e)
+		cur = a.other(e, cur)
+		if want == x {
+			want = y
+		} else {
+			want = x
+		}
+		if cur == v && want == x {
+			return edges, true
+		}
+	}
+}
+
+// kempeFree makes color x free at block v by flipping the alternating x/y
+// chain rooted at v. It reports success; a closed cycle through v cannot be
+// flipped usefully.
+func (a *edgeAssignment) kempeFree(v, x, y int) bool {
+	edges, cyclic := a.chainFrom(v, x, y)
+	if cyclic || len(edges) == 0 {
+		return len(edges) == 0 // x already free at v
+	}
+	// Detach the whole chain, then reattach with flipped colors.
+	for _, e := range edges {
+		c := a.color[e]
+		a.occ[a.ends[e][0]][c] = -1
+		a.occ[a.ends[e][1]][c] = -1
+	}
+	for _, e := range edges {
+		c := x
+		if a.color[e] == x {
+			c = y
+		}
+		a.color[e] = c
+		a.occ[a.ends[e][0]][c] = e
+		a.occ[a.ends[e][1]][c] = e
+	}
+	return a.occ[v][x] == -1
+}
+
+// colorAll assigns colors to every unassigned edge, retrying with
+// different edge orders when the Kempe-chain heuristic wedges near the
+// chromatic-index boundary.
+func (a *edgeAssignment) colorAll() error {
+	colorSnap := append([]int(nil), a.color...)
+	occSnap := make([][]int, len(a.occ))
+	for v := range a.occ {
+		occSnap[v] = append([]int(nil), a.occ[v]...)
+	}
+	rng := sim.NewRand(0xC0109)
+	var err error
+	for attempt := 0; attempt < 12; attempt++ {
+		if attempt > 0 {
+			copy(a.color, colorSnap)
+			for v := range a.occ {
+				copy(a.occ[v], occSnap[v])
+			}
+		}
+		if err = a.colorOnce(rng, attempt); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// colorOnce is one coloring attempt: hardest (highest degree-sum) edges
+// first on attempt 0, pseudo-random orders afterwards.
+func (a *edgeAssignment) colorOnce(rng *sim.Rand, attempt int) error {
+	deg := make([]int, a.blocks)
+	for _, ends := range a.ends {
+		deg[ends[0]]++
+		deg[ends[1]]++
+	}
+	var todo []int
+	for e, c := range a.color {
+		if c == -1 {
+			todo = append(todo, e)
+		}
+	}
+	sort.SliceStable(todo, func(i, j int) bool {
+		a1 := deg[a.ends[todo[i]][0]] + deg[a.ends[todo[i]][1]]
+		a2 := deg[a.ends[todo[j]][0]] + deg[a.ends[todo[j]][1]]
+		return a1 > a2
+	})
+	if attempt > 0 {
+		rng.Shuffle(len(todo), func(i, j int) { todo[i], todo[j] = todo[j], todo[i] })
+	}
+	for _, e := range todo {
+		u, v := a.ends[e][0], a.ends[e][1]
+		if c := a.freeAtBoth(u, v); c >= 0 {
+			a.setColor(e, c)
+			continue
+		}
+		cu := a.freeColorAt(u)
+		cv := a.freeColorAt(v)
+		if cu < 0 || cv < 0 {
+			return fmt.Errorf("%w: block degree exceeds switches at edge %d-%d", ErrColoring, u, v)
+		}
+		// Free color cu at v by flipping the cu/cv chain from v.
+		if a.kempeFree(v, cu, cv) && a.occ[u][cu] == -1 {
+			a.setColor(e, cu)
+			continue
+		}
+		// Symmetric attempt from u.
+		if a.kempeFree(u, cv, cu) && a.occ[v][cv] == -1 {
+			a.setColor(e, cv)
+			continue
+		}
+		// Last resort: scan all color pairs for a repairable chain.
+		if c := a.repairAnyPair(u, v); c >= 0 {
+			a.setColor(e, c)
+			continue
+		}
+		return fmt.Errorf("%w: edge %d-%d uncolorable", ErrColoring, u, v)
+	}
+	return nil
+}
+
+// repairAnyPair tries every (free-at-u, free-at-v) color pair with Kempe
+// repair and returns a color now free at both, or -1.
+func (a *edgeAssignment) repairAnyPair(u, v int) int {
+	for cu := 0; cu < a.colors; cu++ {
+		if a.occ[u][cu] != -1 {
+			continue
+		}
+		for cv := 0; cv < a.colors; cv++ {
+			if cv == cu || a.occ[v][cv] != -1 {
+				continue
+			}
+			if a.kempeFree(v, cu, cv) && a.occ[u][cu] == -1 && a.occ[v][cu] == -1 {
+				return cu
+			}
+		}
+	}
+	return -1
+}

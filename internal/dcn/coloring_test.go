@@ -1,0 +1,149 @@
+package dcn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lightwave/internal/sim"
+)
+
+// validColoring checks the matching property: no block carries two edges of
+// the same color.
+func validColoring(a *edgeAssignment) bool {
+	seen := map[[2]int]bool{} // (block, color)
+	for e, c := range a.color {
+		if c < 0 || c >= a.colors {
+			return false
+		}
+		for _, v := range a.ends[e] {
+			k := [2]int{v, c}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+	}
+	return true
+}
+
+func TestColoringSimpleTriangle(t *testing.T) {
+	// A triangle needs 3 colors.
+	a := newEdgeAssignment(3, 3)
+	mustAdd := func(u, v int) {
+		if _, err := a.addEdge(u, v, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 1)
+	mustAdd(1, 2)
+	mustAdd(0, 2)
+	if err := a.colorAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !validColoring(a) {
+		t.Fatal("invalid coloring")
+	}
+}
+
+func TestColoringRespectsPrecolored(t *testing.T) {
+	a := newEdgeAssignment(4, 4)
+	if _, err := a.addEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.addEdge(0, 2, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.colorAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !validColoring(a) {
+		t.Fatal("invalid coloring")
+	}
+}
+
+func TestColoringPrecoloredConflictRejected(t *testing.T) {
+	a := newEdgeAssignment(4, 4)
+	if _, err := a.addEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.addEdge(0, 2, 2); err == nil {
+		t.Fatal("conflicting pre-color accepted")
+	}
+}
+
+func TestColoringUniformMesh(t *testing.T) {
+	// A uniform mesh of degree Δ must color into Δ+2 switches.
+	top, err := UniformMesh(8, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newEdgeAssignment(8, 23)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			for k := 0; k < top.Links[i][j]; k++ {
+				if _, err := a.addEdge(i, j, -1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := a.colorAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !validColoring(a) {
+		t.Fatal("invalid coloring")
+	}
+}
+
+func TestColoringRandomEngineeredTopologies(t *testing.T) {
+	// Property: any engineered topology with per-block degree ≤ U colors
+	// into U+4 switches (the theoretical chromatic index can exceed U+1
+	// for odd block counts and parallel trunks; operators keep slack).
+	err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		blocks := 6 + r.Intn(8)
+		uplinks := blocks - 1 + r.Intn(16)
+		demand := SkewedDemand(blocks, 1e9, 1+r.Intn(6), 5+40*r.Float64(), seed)
+		top, err := Engineer(blocks, uplinks, demand)
+		if err != nil {
+			return false
+		}
+		a := newEdgeAssignment(blocks, uplinks+4)
+		for i := 0; i < blocks; i++ {
+			for j := i + 1; j < blocks; j++ {
+				for k := 0; k < top.Links[i][j]; k++ {
+					if _, err := a.addEdge(i, j, -1); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		if err := a.colorAll(); err != nil {
+			return false
+		}
+		return validColoring(a)
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColoringDegreeOverflow(t *testing.T) {
+	// Degree above the color count is impossible.
+	a := newEdgeAssignment(3, 2)
+	for k := 0; k < 3; k++ {
+		if _, err := a.addEdge(0, 1, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.colorAll(); err == nil {
+		t.Fatal("over-degree trunk set colored")
+	}
+}
+
+func TestKempeFreeOnFreeColor(t *testing.T) {
+	a := newEdgeAssignment(4, 3)
+	if !a.kempeFree(0, 1, 2) {
+		t.Fatal("free color reported as busy")
+	}
+}

@@ -1,0 +1,26 @@
+package dcn_test
+
+import (
+	"fmt"
+
+	"lightwave/internal/dcn"
+)
+
+// Example engineers a topology for a hot traffic pair and shows the trunk
+// allocation following the demand.
+func Example() {
+	demand := dcn.UniformDemand(6, 1e9)
+	demand[0][1], demand[1][0] = 50e9, 50e9
+
+	top, err := dcn.Engineer(6, 10, demand)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("hot pair trunks:", top.Links[0][1])
+	fmt.Println("cold pair trunks:", top.Links[2][3])
+	fmt.Println("matchings:", len(top.Decompose()) > 0)
+	// Output:
+	// hot pair trunks: 6
+	// cold pair trunks: 3
+	// matchings: true
+}

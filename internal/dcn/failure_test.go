@@ -1,0 +1,116 @@
+package dcn
+
+import (
+	"errors"
+	"testing"
+
+	"lightwave/internal/ocs"
+)
+
+func TestFailSwitchDropsTrunks(t *testing.T) {
+	blocks, uplinks := 8, 14
+	f := newDCNFabric(t, blocks, uplinks+4)
+	top, _ := UniformMesh(blocks, uplinks)
+	if _, err := f.Program(top); err != nil {
+		t.Fatal(err)
+	}
+	// Find a switch with circuits.
+	idx := -1
+	for i, sw := range f.Switches {
+		if sw.NumCircuits() > 0 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no loaded switch")
+	}
+	lost, err := f.FailSwitch(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost == 0 {
+		t.Fatal("no trunks lost")
+	}
+	if f.Matches(top) {
+		t.Fatal("fabric still matches topology after switch failure")
+	}
+}
+
+func TestHealAfterFailureRestoresTopology(t *testing.T) {
+	blocks, uplinks := 8, 14
+	f := newDCNFabric(t, blocks, uplinks+6)
+	top, _ := UniformMesh(blocks, uplinks)
+	if _, err := f.Program(top); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.FailSwitch(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.HealAfterFailure(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Established == 0 {
+		t.Fatal("healing established nothing")
+	}
+	if !f.Matches(top) {
+		t.Fatal("topology not restored after healing")
+	}
+	// Failed switch must carry nothing.
+	if f.Switches[0].NumCircuits() != 0 {
+		t.Fatal("failed switch carries circuits")
+	}
+	// Healing keeps survivors: most trunks were untouched.
+	if res.Kept == 0 {
+		t.Fatal("healing rebuilt everything from scratch")
+	}
+}
+
+func TestRepairSwitchReturnsCapacity(t *testing.T) {
+	f := newDCNFabric(t, 6, 12)
+	if _, err := f.FailSwitch(3); err != nil {
+		t.Fatal(err)
+	}
+	if f.Switches[3].Up() {
+		t.Fatal("switch up after failure")
+	}
+	if err := f.RepairSwitch(3); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Switches[3].Up() {
+		t.Fatal("switch down after repair")
+	}
+	// Usable again.
+	if _, err := f.Switches[3].Connect(ocs.PortID(0), ocs.PortID(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailSwitchBounds(t *testing.T) {
+	f := newDCNFabric(t, 4, 6)
+	if _, err := f.FailSwitch(99); !errors.Is(err, ErrSwitchIndex) {
+		t.Errorf("err = %v", err)
+	}
+	if err := f.RepairSwitch(-1); !errors.Is(err, ErrSwitchIndex) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHealWithoutCapacityFails(t *testing.T) {
+	blocks, uplinks := 8, 14
+	// Exactly enough switches; losing several leaves too few.
+	f := newDCNFabric(t, blocks, uplinks+1)
+	top, _ := UniformMesh(blocks, uplinks)
+	if _, err := f.Program(top); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := f.FailSwitch(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.HealAfterFailure(top); !errors.Is(err, ErrTooFewSwitches) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,301 @@
+package dcn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lightwave/internal/sim"
+)
+
+// Flow-level simulator: flows arrive on block pairs following a traffic
+// matrix, are routed on the direct trunk or a two-hop transit path (the
+// routing style of the spine-free Jupiter fabric), receive max-min fair
+// rates recomputed as the flow population changes, and complete when their
+// bytes drain. The engineered topology's advantage — capacity where the
+// demand is — shows up as lower flow completion times and higher achieved
+// throughput.
+
+// Workload describes the offered traffic.
+type Workload struct {
+	// Demand[i][j] is the offered load from block i to j in bytes/s.
+	Demand [][]float64
+	// MeanFlowBytes is the mean of the exponential flow-size
+	// distribution.
+	MeanFlowBytes float64
+	// Duration is the simulated time horizon in seconds.
+	Duration float64
+}
+
+// SimConfig parameterizes the simulator.
+type SimConfig struct {
+	// TrunkBps is the capacity of one trunk in bytes/s, per direction.
+	TrunkBps float64
+	// Seed fixes the arrival process.
+	Seed uint64
+	// MaxTransit is the number of candidate transit blocks examined per
+	// flow (least-loaded two-hop routing).
+	MaxTransit int
+	// FCTLoadFraction is the fraction of fabric capacity offered during
+	// the FCT comparison (0 = default 0.7).
+	FCTLoadFraction float64
+	// SatLoadFraction is the fraction offered during the saturation
+	// throughput comparison (0 = default 0.95).
+	SatLoadFraction float64
+}
+
+// DefaultSimConfig returns a 400G-trunk configuration.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{TrunkBps: 50e9, Seed: 1, MaxTransit: 4}
+}
+
+// SimResult aggregates the run.
+type SimResult struct {
+	CompletedFlows int
+	// MeanFCT and P99FCT are flow-completion-time statistics in seconds.
+	MeanFCT, MedianFCT, P99FCT float64
+	// ThroughputBps is completed bytes over the duration.
+	ThroughputBps float64
+	// TransitFraction is the share of flows that took a two-hop path.
+	TransitFraction float64
+}
+
+type flow struct {
+	src, dst  int
+	hops      [][2]int // directed links used
+	size      float64
+	remaining float64
+	started   float64
+	rate      float64
+}
+
+// ErrMismatch is returned when workload and topology disagree on size.
+var ErrMismatch = errors.New("dcn: workload does not match topology")
+
+// Simulate runs the flow-level simulation of the workload on the topology.
+func Simulate(t *Topology, w Workload, cfg SimConfig) (SimResult, error) {
+	n := t.Blocks
+	if len(w.Demand) != n {
+		return SimResult{}, fmt.Errorf("%w: demand %d blocks, topology %d", ErrMismatch, len(w.Demand), n)
+	}
+	if err := t.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if cfg.TrunkBps <= 0 || w.MeanFlowBytes <= 0 || w.Duration <= 0 {
+		return SimResult{}, errors.New("dcn: non-positive simulation parameters")
+	}
+	rng := sim.NewRand(cfg.Seed)
+
+	// Pre-compute arrival rates per pair.
+	type pair struct{ i, j int }
+	var pairs []pair
+	var rates []float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && w.Demand[i][j] > 0 {
+				pairs = append(pairs, pair{i, j})
+				rates = append(rates, w.Demand[i][j]/w.MeanFlowBytes)
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return SimResult{}, errors.New("dcn: empty demand")
+	}
+
+	cap := func(i, j int) float64 { return float64(t.Links[i][j]) * cfg.TrunkBps }
+	load := make(map[[2]int]float64) // current flow count per directed link
+
+	active := make(map[*flow]bool)
+	var fcts []float64
+	completedBytes := 0.0
+	transit, total := 0, 0
+
+	// Next arrival per pair (exponential interarrivals).
+	next := make([]float64, len(pairs))
+	for k := range next {
+		next[k] = rng.ExpFloat64() / rates[k]
+	}
+
+	now := 0.0
+	recompute := func() {
+		maxMinRates(active, cap, cfg.TrunkBps)
+	}
+
+	for now < w.Duration {
+		// Earliest next event: arrival or completion.
+		tNext := math.Inf(1)
+		kNext := -1
+		for k, at := range next {
+			if at < tNext {
+				tNext, kNext = at, k
+			}
+		}
+		var fDone *flow
+		for f := range active {
+			if f.rate <= 0 {
+				continue
+			}
+			done := now + f.remaining/f.rate
+			if done < tNext {
+				tNext, kNext, fDone = done, -1, f
+			}
+		}
+		if tNext > w.Duration {
+			break
+		}
+		// Drain all active flows to tNext.
+		dt := tNext - now
+		for f := range active {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		now = tNext
+
+		if fDone != nil {
+			fcts = append(fcts, now-fDone.started)
+			completedBytes += fDone.size
+			for _, h := range fDone.hops {
+				load[h]--
+			}
+			delete(active, fDone)
+			recompute()
+			continue
+		}
+
+		// Arrival on pair kNext.
+		p := pairs[kNext]
+		next[kNext] = now + rng.ExpFloat64()/rates[kNext]
+		f := &flow{src: p.i, dst: p.j, started: now}
+		f.size = rng.ExpFloat64() * w.MeanFlowBytes
+		f.remaining = f.size
+		f.hops = choosePath(t, p.i, p.j, load, cfg, rng)
+		total++
+		if len(f.hops) == 2 {
+			transit++
+		}
+		for _, h := range f.hops {
+			load[h]++
+		}
+		active[f] = true
+		recompute()
+	}
+
+	var res SimResult
+	res.CompletedFlows = len(fcts)
+	res.TransitFraction = 0
+	if total > 0 {
+		res.TransitFraction = float64(transit) / float64(total)
+	}
+	if len(fcts) > 0 {
+		res.MeanFCT = sim.Mean(fcts)
+		res.MedianFCT = sim.Percentile(fcts, 50)
+		res.P99FCT = sim.Percentile(fcts, 99)
+	}
+	res.ThroughputBps = completedBytes / w.Duration
+	return res, nil
+}
+
+// choosePath picks the direct path when a trunk exists and is not badly
+// overloaded relative to the best two-hop alternative; otherwise the least-
+// loaded two-hop path.
+func choosePath(t *Topology, src, dst int, load map[[2]int]float64, cfg SimConfig, rng *sim.Rand) [][2]int {
+	direct := [][2]int{{src, dst}}
+	directScore := math.Inf(1)
+	if t.Links[src][dst] > 0 {
+		directScore = (load[[2]int{src, dst}] + 1) / float64(t.Links[src][dst])
+	}
+	bestVia, bestScore := -1, math.Inf(1)
+	for k := 0; k < cfg.MaxTransit; k++ {
+		via := rng.Intn(t.Blocks)
+		if via == src || via == dst || t.Links[src][via] == 0 || t.Links[via][dst] == 0 {
+			continue
+		}
+		s1 := (load[[2]int{src, via}] + 1) / float64(t.Links[src][via])
+		s2 := (load[[2]int{via, dst}] + 1) / float64(t.Links[via][dst])
+		s := math.Max(s1, s2) * 1.15 // transit uses twice the fabric capacity; bias to direct
+		if s < bestScore {
+			bestScore, bestVia = s, via
+		}
+	}
+	if bestVia >= 0 && bestScore < directScore {
+		return [][2]int{{src, bestVia}, {bestVia, dst}}
+	}
+	if t.Links[src][dst] == 0 && bestVia >= 0 {
+		return [][2]int{{src, bestVia}, {bestVia, dst}}
+	}
+	return direct
+}
+
+// maxMinRates computes max-min fair rates by progressive filling.
+func maxMinRates(active map[*flow]bool, capFn func(i, j int) float64, trunk float64) {
+	type linkState struct {
+		capacity float64
+		flows    []*flow
+	}
+	links := map[[2]int]*linkState{}
+	for f := range active {
+		f.rate = -1
+		for _, h := range f.hops {
+			ls := links[h]
+			if ls == nil {
+				ls = &linkState{capacity: capFn(h[0], h[1])}
+				links[h] = ls
+			}
+			ls.flows = append(ls.flows, f)
+		}
+	}
+	unfrozen := len(active)
+	for unfrozen > 0 {
+		// Find the bottleneck link: minimum fair share among links with
+		// unfrozen flows.
+		var bottleneck *linkState
+		share := math.Inf(1)
+		for _, ls := range links {
+			nUnfrozen := 0
+			for _, f := range ls.flows {
+				if f.rate < 0 {
+					nUnfrozen++
+				}
+			}
+			if nUnfrozen == 0 {
+				continue
+			}
+			s := ls.capacity / float64(nUnfrozen)
+			if s < share {
+				share, bottleneck = s, ls
+			}
+		}
+		if bottleneck == nil {
+			// Remaining flows are unconstrained (shouldn't happen: every
+			// flow crosses at least one link); cap at trunk rate.
+			for f := range active {
+				if f.rate < 0 {
+					f.rate = trunk
+					unfrozen--
+				}
+			}
+			break
+		}
+		for _, f := range bottleneck.flows {
+			if f.rate >= 0 {
+				continue
+			}
+			// A single flow rides one physical trunk (ECMP hashing), so its
+			// rate is capped at the trunk rate even on multi-trunk pairs.
+			rate := share
+			if rate > trunk {
+				rate = trunk
+			}
+			f.rate = rate
+			unfrozen--
+			for _, h := range f.hops {
+				links[h].capacity -= rate
+				if links[h].capacity < 0 {
+					links[h].capacity = 0
+				}
+			}
+		}
+	}
+}

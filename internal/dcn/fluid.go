@@ -1,0 +1,102 @@
+package dcn
+
+// Fluid throughput solver: given a (possibly saturating) long-lived demand
+// matrix, allocate bandwidth on the topology with direct-path-first routing
+// and two-hop transit spill, and return the total achieved throughput.
+// Transit consumes capacity on two links per byte, which is the fundamental
+// tax a demand-oblivious uniform mesh pays on hot pairs and a demand-aware
+// engineered topology largely avoids.
+
+// AchievedThroughput returns the total delivered bytes/s for the demand
+// matrix on topology t with the given per-trunk rate.
+func AchievedThroughput(t *Topology, demand [][]float64, trunkBps float64) float64 {
+	return AchievedThroughputRates(t, demand, func(i, j int) float64 { return trunkBps })
+}
+
+// AchievedThroughputRates generalizes AchievedThroughput to per-pair trunk
+// rates (heterogeneous fabrics where trunks between different-generation
+// blocks run at their negotiated rate). chunkRef sets the water-filling
+// granularity from the fastest trunk.
+func AchievedThroughputRates(t *Topology, demand [][]float64, trunkBps func(i, j int) float64) float64 {
+	n := t.Blocks
+	// Residual capacity per directed link.
+	capLeft := make([][]float64, n)
+	chunkRef := 0.0
+	for i := range capLeft {
+		capLeft[i] = make([]float64, n)
+		for j := range capLeft[i] {
+			r := trunkBps(i, j)
+			capLeft[i][j] = float64(t.Links[i][j]) * r
+			if r > chunkRef {
+				chunkRef = r
+			}
+		}
+	}
+	achieved := 0.0
+	residual := make([][]float64, n)
+	for i := range residual {
+		residual[i] = make([]float64, n)
+	}
+
+	// Phase 1: direct paths. Trunks between a pair serve only that pair.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || demand[i][j] <= 0 {
+				continue
+			}
+			d := demand[i][j]
+			direct := capLeft[i][j]
+			take := d
+			if take > direct {
+				take = direct
+			}
+			capLeft[i][j] -= take
+			achieved += take
+			residual[i][j] = d - take
+		}
+	}
+
+	// Phase 2: two-hop transit spill, allocated in rounds of small chunks
+	// so contended capacity is shared approximately max-min fairly.
+	chunk := chunkRef / 8
+	for progress := true; progress; {
+		progress = false
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if residual[i][j] <= 0 {
+					continue
+				}
+				// Best transit: maximize the bottleneck residual capacity.
+				bestK, bestCap := -1, 0.0
+				for k := 0; k < n; k++ {
+					if k == i || k == j {
+						continue
+					}
+					c := capLeft[i][k]
+					if capLeft[k][j] < c {
+						c = capLeft[k][j]
+					}
+					if c > bestCap {
+						bestCap, bestK = c, k
+					}
+				}
+				if bestK < 0 || bestCap <= 0 {
+					continue
+				}
+				take := chunk
+				if take > residual[i][j] {
+					take = residual[i][j]
+				}
+				if take > bestCap {
+					take = bestCap
+				}
+				residual[i][j] -= take
+				capLeft[i][bestK] -= take
+				capLeft[bestK][j] -= take
+				achieved += take
+				progress = true
+			}
+		}
+	}
+	return achieved
+}

@@ -1,0 +1,128 @@
+package dcn
+
+import (
+	"errors"
+	"fmt"
+
+	"lightwave/internal/optics"
+)
+
+// Heterogeneous fabrics (§2.1 "Rapid Technology Refresh"): the OCS is data-
+// rate agnostic, so aggregation blocks of different transceiver generations
+// share one fabric, each trunk running at the rate its two endpoints
+// negotiate. New-generation blocks join at full speed among themselves and
+// interop with legacy blocks at the legacy rate — no forklift upgrade, no
+// flag-day.
+
+// HeteroFabric pairs a topology with per-block transceiver generations.
+type HeteroFabric struct {
+	Topology *Topology
+	// Gens[i] is block i's transceiver generation.
+	Gens []optics.Generation
+}
+
+// ErrGenCount is returned when generations don't match the block count.
+var ErrGenCount = errors.New("dcn: generation list does not match blocks")
+
+// NewHeteroFabric validates the pairing.
+func NewHeteroFabric(t *Topology, gens []optics.Generation) (*HeteroFabric, error) {
+	if len(gens) != t.Blocks {
+		return nil, fmt.Errorf("%w: %d gens for %d blocks", ErrGenCount, len(gens), t.Blocks)
+	}
+	return &HeteroFabric{Topology: t, Gens: gens}, nil
+}
+
+// TrunkRateBps returns the negotiated per-trunk rate between blocks i and
+// j in bytes/s: the highest common (lane rate, modulation) mode across the
+// module's CWDM4 lanes.
+func (h *HeteroFabric) TrunkRateBps(i, j int) (float64, error) {
+	a := optics.NewTransceiver(h.Gens[i])
+	b := optics.NewTransceiver(h.Gens[j])
+	mode, err := a.Negotiate(b)
+	if err != nil {
+		return 0, err
+	}
+	lanes := h.Gens[i].Grid.Lanes()
+	if l := h.Gens[j].Grid.Lanes(); l < lanes {
+		lanes = l
+	}
+	return mode.LaneRateGbps * float64(lanes) * 1e9 / 8, nil
+}
+
+// Capacity returns the total directed fabric capacity in bytes/s.
+func (h *HeteroFabric) Capacity() (float64, error) {
+	total := 0.0
+	for i := 0; i < h.Topology.Blocks; i++ {
+		for j := 0; j < h.Topology.Blocks; j++ {
+			if h.Topology.Links[i][j] == 0 {
+				continue
+			}
+			r, err := h.TrunkRateBps(i, j)
+			if err != nil {
+				return 0, err
+			}
+			total += float64(h.Topology.Links[i][j]) * r
+		}
+	}
+	return total, nil
+}
+
+// AchievedThroughput runs the fluid solver with negotiated per-trunk rates.
+// Trunk pairs that cannot negotiate carry zero.
+func (h *HeteroFabric) AchievedThroughput(demand [][]float64) float64 {
+	return AchievedThroughputRates(h.Topology, demand, func(i, j int) float64 {
+		r, err := h.TrunkRateBps(i, j)
+		if err != nil {
+			return 0
+		}
+		return r
+	})
+}
+
+// RefreshStep is one point of a technology-refresh trajectory.
+type RefreshStep struct {
+	// Upgraded is the number of blocks running the new generation.
+	Upgraded int
+	// CapacityBps is the fabric's total directed capacity.
+	CapacityBps float64
+	// AchievedBps is the delivered throughput for the reference demand.
+	AchievedBps float64
+}
+
+// TechRefresh simulates an in-service technology refresh: blocks are
+// upgraded one at a time from oldGen to newGen on a fixed uniform mesh, and
+// the capacity/throughput trajectory is recorded. The fabric never goes
+// down and interop holds at every step — the OCS and the wavelength-grid
+// compatibility make the refresh incremental (§2.1).
+func TechRefresh(blocks, uplinks int, oldGen, newGen optics.Generation, demandBps float64) ([]RefreshStep, error) {
+	top, err := UniformMesh(blocks, uplinks)
+	if err != nil {
+		return nil, err
+	}
+	demand := UniformDemand(blocks, demandBps)
+	var steps []RefreshStep
+	for upgraded := 0; upgraded <= blocks; upgraded++ {
+		gens := make([]optics.Generation, blocks)
+		for i := range gens {
+			if i < upgraded {
+				gens[i] = newGen
+			} else {
+				gens[i] = oldGen
+			}
+		}
+		h, err := NewHeteroFabric(top, gens)
+		if err != nil {
+			return nil, err
+		}
+		capacity, err := h.Capacity()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, RefreshStep{
+			Upgraded:    upgraded,
+			CapacityBps: capacity,
+			AchievedBps: h.AchievedThroughput(demand),
+		})
+	}
+	return steps, nil
+}

@@ -1,0 +1,112 @@
+package dcn
+
+import (
+	"errors"
+	"testing"
+
+	"lightwave/internal/optics"
+)
+
+func gens(t *testing.T, names ...string) []optics.Generation {
+	t.Helper()
+	out := make([]optics.Generation, len(names))
+	for i, n := range names {
+		g, err := optics.GenerationByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func TestHeteroTrunkRateNegotiation(t *testing.T) {
+	top, _ := UniformMesh(3, 4)
+	h, err := NewHeteroFabric(top, gens(t, "100G-CWDM4", "2x400G-bidi-CWDM4", "2x400G-bidi-CWDM4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old↔new interops at 25G/lane × 4 = 100G.
+	r, err := h.TrunkRateBps(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 100e9/8 {
+		t.Fatalf("old-new rate = %v", r)
+	}
+	// New↔new runs at 100G/lane × 4 = 400G.
+	r, err = h.TrunkRateBps(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 400e9/8 {
+		t.Fatalf("new-new rate = %v", r)
+	}
+}
+
+func TestHeteroGenCountValidation(t *testing.T) {
+	top, _ := UniformMesh(4, 6)
+	if _, err := NewHeteroFabric(top, gens(t, "100G-CWDM4")); !errors.Is(err, ErrGenCount) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTechRefreshMonotoneCapacity(t *testing.T) {
+	// §2.1: each upgraded block raises fabric capacity; interop means no
+	// step ever loses capacity.
+	old, _ := optics.GenerationByName("100G-CWDM4")
+	neu, _ := optics.GenerationByName("2x400G-bidi-CWDM4")
+	steps, err := TechRefresh(8, 14, old, neu, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 9 {
+		t.Fatalf("%d steps", len(steps))
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].CapacityBps < steps[i-1].CapacityBps {
+			t.Fatalf("capacity fell at step %d: %v -> %v",
+				i, steps[i-1].CapacityBps, steps[i].CapacityBps)
+		}
+	}
+	// Full upgrade quadruples capacity (25G -> 100G lanes).
+	ratio := steps[8].CapacityBps / steps[0].CapacityBps
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("full-refresh capacity ratio = %v, want 4", ratio)
+	}
+}
+
+func TestTechRefreshDeliveryNeverDrops(t *testing.T) {
+	old, _ := optics.GenerationByName("100G-CWDM4")
+	neu, _ := optics.GenerationByName("2x400G-bidi-CWDM4")
+	// Saturating demand: twice the all-legacy fabric's capacity, so each
+	// upgrade step visibly raises delivery.
+	steps, err := TechRefresh(8, 14, old, neu, 50e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].AchievedBps < steps[i-1].AchievedBps*0.999 {
+			t.Fatalf("delivery fell at step %d: %v -> %v",
+				i, steps[i-1].AchievedBps, steps[i].AchievedBps)
+		}
+	}
+	// Under saturating demand, delivered throughput must grow materially
+	// across the refresh.
+	if steps[8].AchievedBps <= steps[0].AchievedBps*1.5 {
+		t.Fatalf("refresh gained too little: %v -> %v",
+			steps[0].AchievedBps, steps[8].AchievedBps)
+	}
+}
+
+func TestHeteroAchievedCapsAtDemand(t *testing.T) {
+	top, _ := UniformMesh(4, 6)
+	h, _ := NewHeteroFabric(top, gens(t,
+		"2x400G-bidi-CWDM4", "2x400G-bidi-CWDM4", "2x400G-bidi-CWDM4", "2x400G-bidi-CWDM4"))
+	demand := UniformDemand(4, 1e9) // far below capacity
+	got := h.AchievedThroughput(demand)
+	want := TotalDemand(demand)
+	if got > want*1.0001 || got < want*0.999 {
+		t.Fatalf("achieved %v, offered %v", got, want)
+	}
+}

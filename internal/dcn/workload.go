@@ -1,0 +1,147 @@
+package dcn
+
+import "lightwave/internal/sim"
+
+// SkewedDemand generates the long-lived, skewed traffic matrix the DCN
+// topology-engineering evaluation uses: a uniform background plus a few hot
+// block pairs carrying a multiple of the background rate — the "increase in
+// long-lived traffic demand between a particular set of ABs" of §2.1.
+func SkewedDemand(blocks int, baseBps float64, hotPairs int, hotFactor float64, seed uint64) [][]float64 {
+	rng := sim.NewRand(seed)
+	d := make([][]float64, blocks)
+	for i := range d {
+		d[i] = make([]float64, blocks)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = baseBps
+			}
+		}
+	}
+	for h := 0; h < hotPairs; h++ {
+		i := rng.Intn(blocks)
+		j := rng.Intn(blocks)
+		for j == i {
+			j = rng.Intn(blocks)
+		}
+		d[i][j] = baseBps * hotFactor
+		d[j][i] = baseBps * hotFactor
+	}
+	return d
+}
+
+// UniformDemand generates an all-pairs-equal traffic matrix.
+func UniformDemand(blocks int, bps float64) [][]float64 {
+	d := make([][]float64, blocks)
+	for i := range d {
+		d[i] = make([]float64, blocks)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = bps
+			}
+		}
+	}
+	return d
+}
+
+// TotalDemand sums the matrix.
+func TotalDemand(d [][]float64) float64 {
+	t := 0.0
+	for i := range d {
+		for j := range d[i] {
+			t += d[i][j]
+		}
+	}
+	return t
+}
+
+// Comparison holds the engineered-vs-uniform results of one experiment.
+type Comparison struct {
+	Uniform, Engineered SimResult
+	// FCTImprovement is 1 − engineered/uniform mean FCT at moderate load
+	// (positive is better; paper ≈0.10).
+	FCTImprovement float64
+	// ThroughputGain is engineered/uniform − 1 in delivered throughput
+	// under saturating demand of the same shape (paper ≈0.30).
+	ThroughputGain float64
+	// UniformBps / EngineeredBps are the saturation throughputs.
+	UniformBps, EngineeredBps float64
+}
+
+// scaleDemand returns demand scaled so its total equals frac of the
+// fabric's total directed capacity.
+func scaleDemand(demand [][]float64, blocks, uplinks int, trunkBps, frac float64) [][]float64 {
+	capTotal := float64(blocks*uplinks) * trunkBps
+	total := TotalDemand(demand)
+	if total == 0 {
+		return demand
+	}
+	s := frac * capTotal / total
+	out := make([][]float64, len(demand))
+	for i := range demand {
+		out[i] = make([]float64, len(demand[i]))
+		for j := range demand[i] {
+			out[i][j] = demand[i][j] * s
+		}
+	}
+	return out
+}
+
+// ReferenceExperiment returns the calibrated configuration of the
+// engineered-vs-uniform comparison: 12 aggregation blocks of 33 uplinks,
+// a strongly skewed long-lived matrix (12 hot pairs at 300× a thin uniform
+// background), long flows, and the default load fractions.
+func ReferenceExperiment() (blocks, uplinks int, demand [][]float64, w Workload, cfg SimConfig) {
+	blocks, uplinks = 12, 33
+	demand = SkewedDemand(blocks, 0.5e9, 12, 300, 7)
+	w = Workload{MeanFlowBytes: 20e9, Duration: 5}
+	cfg = DefaultSimConfig()
+	return
+}
+
+// CompareTopologies engineers a topology for the demand shape and compares
+// it with a uniform mesh — the experiment behind the "10% improvement in
+// flow completion time and 30% increase in TCP throughput" summary of §4.2.
+// Flow completion time is measured with the flow-level simulator at
+// moderate load (35% of fabric capacity); throughput with the fluid solver
+// at saturating load (95%), where the uniform mesh pays the 2× transit tax
+// on hot pairs.
+func CompareTopologies(blocks, uplinks int, demand [][]float64, w Workload, cfg SimConfig) (Comparison, error) {
+	var c Comparison
+	uni, err := UniformMesh(blocks, uplinks)
+	if err != nil {
+		return c, err
+	}
+	eng, err := Engineer(blocks, uplinks, demand)
+	if err != nil {
+		return c, err
+	}
+
+	fctLoad := cfg.FCTLoadFraction
+	if fctLoad == 0 {
+		fctLoad = 0.7
+	}
+	satLoad := cfg.SatLoadFraction
+	if satLoad == 0 {
+		satLoad = 0.95
+	}
+	w.Demand = scaleDemand(demand, blocks, uplinks, cfg.TrunkBps, fctLoad)
+	c.Uniform, err = Simulate(uni, w, cfg)
+	if err != nil {
+		return c, err
+	}
+	c.Engineered, err = Simulate(eng, w, cfg)
+	if err != nil {
+		return c, err
+	}
+	if c.Uniform.MeanFCT > 0 {
+		c.FCTImprovement = 1 - c.Engineered.MeanFCT/c.Uniform.MeanFCT
+	}
+
+	sat := scaleDemand(demand, blocks, uplinks, cfg.TrunkBps, satLoad)
+	c.UniformBps = AchievedThroughput(uni, sat, cfg.TrunkBps)
+	c.EngineeredBps = AchievedThroughput(eng, sat, cfg.TrunkBps)
+	if c.UniformBps > 0 {
+		c.ThroughputGain = c.EngineeredBps/c.UniformBps - 1
+	}
+	return c, nil
+}

@@ -1,0 +1,60 @@
+package dsp
+
+import (
+	"testing"
+
+	"lightwave/internal/sim"
+)
+
+func BenchmarkAnalyticBER(b *testing.B) {
+	r := DefaultReceiver()
+	cond := MPICondition{MPIDB: -32, OIM: true}
+	for i := 0; i < b.N; i++ {
+		_ = r.BER(-9, cond)
+	}
+}
+
+func BenchmarkSensitivitySearch(b *testing.B) {
+	r := DefaultReceiver()
+	cond := MPICondition{MPIDB: -32, OIM: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Sensitivity(2e-4, cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarlo100k(b *testing.B) {
+	r := DefaultReceiver()
+	for i := 0; i < b.N; i++ {
+		_ = r.MonteCarloBER(-11, MPICondition{MPIDB: -30},
+			MonteCarloConfig{Symbols: 100000, Rand: sim.NewRand(uint64(i + 1))})
+	}
+}
+
+func BenchmarkOIMMitigation100k(b *testing.B) {
+	r := DefaultReceiver()
+	for i := 0; i < b.N; i++ {
+		_ = r.MonteCarloBER(-11, MPICondition{MPIDB: -30, OIM: true},
+			MonteCarloConfig{Symbols: 100000, Rand: sim.NewRand(uint64(i + 1))})
+	}
+}
+
+func BenchmarkMLSEDetect(b *testing.B) {
+	m := NewMLSE(0.2)
+	levels := [4]float64{1, 2, 3, 4}
+	rng := sim.NewRand(9)
+	n := 100000
+	y := make([]float64, n)
+	prev := 0
+	for i := range y {
+		k := rng.Intn(4)
+		y[i] = m.H0*levels[k] + m.H1*levels[prev] + 0.1*rng.NormFloat64()
+		prev = k
+	}
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Detect(y, levels)
+	}
+}

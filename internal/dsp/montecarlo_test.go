@@ -1,0 +1,120 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"lightwave/internal/sim"
+)
+
+func TestMonteCarloMatchesAnalyticClean(t *testing.T) {
+	// Fig 11b: "measured data ... matches well with the modeling results".
+	r := DefaultReceiver()
+	clean := MPICondition{MPIDB: NoMPI}
+	// Pick a power where BER is high enough to measure quickly (~1e-2..1e-3).
+	p := -12.0
+	want := r.BER(p, clean)
+	got := r.MonteCarloBER(p, clean, MonteCarloConfig{Symbols: 400000, Rand: sim.NewRand(1)})
+	ratio := got.BER / want
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("MC BER %.3g vs analytic %.3g (ratio %.2f)", got.BER, want, ratio)
+	}
+}
+
+func TestMonteCarloMatchesAnalyticWithMPI(t *testing.T) {
+	r := DefaultReceiver()
+	mpi := MPICondition{MPIDB: -29}
+	p := -11.0
+	want := r.BER(p, mpi)
+	got := r.MonteCarloBER(p, mpi, MonteCarloConfig{Symbols: 400000, Rand: sim.NewRand(2)})
+	ratio := got.BER / want
+	// The analytic model treats the sinusoidal beat as Gaussian noise; the
+	// waveform result is close but not identical.
+	if ratio < 0.4 || ratio > 2.2 {
+		t.Fatalf("MC BER %.3g vs analytic %.3g (ratio %.2f)", got.BER, want, ratio)
+	}
+}
+
+func TestMonteCarloOIMImprovesBER(t *testing.T) {
+	r := DefaultReceiver()
+	p := -10.0
+	cfg := MonteCarloConfig{Symbols: 300000, Rand: sim.NewRand(3)}
+	raw := r.MonteCarloBER(p, MPICondition{MPIDB: -27}, cfg)
+	cfg2 := MonteCarloConfig{Symbols: 300000, Rand: sim.NewRand(3)}
+	mit := r.MonteCarloBER(p, MPICondition{MPIDB: -27, OIM: true}, cfg2)
+	if mit.BER >= raw.BER {
+		t.Fatalf("OIM did not improve measured BER: %.3g -> %.3g", raw.BER, mit.BER)
+	}
+	if raw.BER == 0 {
+		t.Fatal("test setup: raw channel error-free, cannot measure improvement")
+	}
+}
+
+func TestOIMFrequencyEstimation(t *testing.T) {
+	// The notch filter must lock onto the injected beat frequency in the
+	// digital domain (§4.1.2).
+	r := DefaultReceiver()
+	inject := 3.1e9
+	res := r.MonteCarloBER(-9, MPICondition{MPIDB: -25, OIM: true},
+		MonteCarloConfig{Symbols: 200000, MPIOffsetHz: inject, Rand: sim.NewRand(4)})
+	if res.EstimatedOffsetHz == 0 {
+		t.Fatal("OIM found no tone")
+	}
+	relErr := math.Abs(res.EstimatedOffsetHz-inject) / inject
+	if relErr > 0.02 {
+		t.Fatalf("estimated %.3g Hz, injected %.3g Hz (%.1f%% off)",
+			res.EstimatedOffsetHz, inject, 100*relErr)
+	}
+}
+
+func TestMonteCarloDeterministicWithSeed(t *testing.T) {
+	r := DefaultReceiver()
+	a := r.MonteCarloBER(-11, MPICondition{MPIDB: -30}, MonteCarloConfig{Symbols: 50000, Rand: sim.NewRand(9)})
+	b := r.MonteCarloBER(-11, MPICondition{MPIDB: -30}, MonteCarloConfig{Symbols: 50000, Rand: sim.NewRand(9)})
+	if a.BitErrors != b.BitErrors {
+		t.Fatal("same seed, different result")
+	}
+}
+
+func TestMonteCarloDefaults(t *testing.T) {
+	r := DefaultReceiver()
+	res := r.MonteCarloBER(-11, MPICondition{MPIDB: NoMPI}, MonteCarloConfig{})
+	if res.Bits != 200000 {
+		t.Fatalf("default bits = %d", res.Bits)
+	}
+}
+
+func TestGrayMappingAdjacentLevelsDifferInOneBit(t *testing.T) {
+	for k := 0; k < 3; k++ {
+		if popcount2(grayMap[k]^grayMap[k+1]) != 1 {
+			t.Fatalf("levels %d and %d differ in %d bits", k, k+1, popcount2(grayMap[k]^grayMap[k+1]))
+		}
+	}
+}
+
+func TestSlicer(t *testing.T) {
+	thr := [3]float64{1, 2, 3}
+	cases := []struct {
+		v    float64
+		want uint8
+	}{{0.5, 0}, {1.5, 1}, {2.5, 2}, {3.5, 3}}
+	for _, c := range cases {
+		if got := slice(c.v, thr); got != c.want {
+			t.Errorf("slice(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTonePowerPeaksAtToneFrequency(t *testing.T) {
+	ts := 1.0 / 50e9
+	f0 := 4e9
+	x := make([]float64, 20000)
+	for n := range x {
+		x[n] = math.Cos(2 * math.Pi * f0 * float64(n) * ts)
+	}
+	at := tonePower(x, f0, ts)
+	off := tonePower(x, f0*1.7, ts)
+	if at < 100*off {
+		t.Fatalf("tone power at f0 (%g) not dominant over off-tone (%g)", at, off)
+	}
+}

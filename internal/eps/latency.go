@@ -1,0 +1,65 @@
+package eps
+
+import (
+	"errors"
+	"math"
+)
+
+// Latency under load: an EPS pays per-packet processing and queueing at
+// every hop, while an OCS circuit is a piece of glass — §3.2.1: "The
+// absence of per-packet processing within an OCS means only a small amount
+// of deterministic latency is added on a per-hop basis ... other kinds of
+// network fabrics ... can add hundreds of nanoseconds if not microseconds
+// of delay per hop."
+
+// ErrLoad is returned for utilizations outside [0, 1).
+var ErrLoad = errors.New("eps: load must be in [0, 1)")
+
+// ServiceTime returns the serialization time of a packet of the given size
+// on one port.
+func (c Chassis) ServiceTime(packetBytes int) float64 {
+	return float64(packetBytes) * 8 / (c.PortGbps * 1e9)
+}
+
+// HopLatencyUnderLoad returns the mean per-hop latency at the given port
+// utilization: pipeline latency + serialization + M/M/1 queueing delay.
+func (c Chassis) HopLatencyUnderLoad(packetBytes int, load float64) (float64, error) {
+	if load < 0 || load >= 1 {
+		return 0, ErrLoad
+	}
+	s := c.ServiceTime(packetBytes)
+	queue := s * load / (1 - load)
+	return c.HopLatencySec + s + queue, nil
+}
+
+// PathLatencyUnderLoad returns the mean end-to-end switching latency of a
+// Clos path at uniform port utilization.
+func (c *Clos) PathLatencyUnderLoad(sameLeaf, samePod bool, packetBytes int, load float64) (float64, error) {
+	per, err := c.Chassis.HopLatencyUnderLoad(packetBytes, load)
+	if err != nil {
+		return 0, err
+	}
+	return float64(c.PathHops(sameLeaf, samePod)) * per, nil
+}
+
+// OCSPathLatency returns the added latency of a direct OCS circuit: the
+// light propagates through passive glass, so only the fiber flight time
+// remains (≈5 ns/m, zero per-hop processing).
+func OCSPathLatency(fiberM float64) float64 {
+	const nsPerM = 5e-9
+	return fiberM * nsPerM
+}
+
+// LatencyAdvantage returns how many times lower the direct-OCS path
+// latency is than the loaded Clos path for the same endpoints.
+func (c *Clos) LatencyAdvantage(fiberM float64, packetBytes int, load float64) (float64, error) {
+	clos, err := c.PathLatencyUnderLoad(false, true, packetBytes, load)
+	if err != nil {
+		return 0, err
+	}
+	ocs := OCSPathLatency(fiberM)
+	if ocs <= 0 {
+		return math.Inf(1), nil
+	}
+	return clos / ocs, nil
+}

@@ -1,0 +1,200 @@
+package fec
+
+import (
+	"errors"
+	"testing"
+
+	"lightwave/internal/sim"
+)
+
+func newTestCodec(t *testing.T) *Codec {
+	t.Helper()
+	c, err := NewCodec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randMessages(r *sim.Rand, c *Codec) [][]int {
+	msgs := make([][]int, c.Depth)
+	for d := range msgs {
+		msgs[d] = randMsg(r, c.Outer.K(), c.Outer.Field().Size())
+	}
+	return msgs
+}
+
+func sameMessages(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for d := range a {
+		if len(a[d]) != len(b[d]) {
+			return false
+		}
+		for i := range a[d] {
+			if a[d][i] != b[d][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCodecGeometry(t *testing.T) {
+	c := newTestCodec(t)
+	if c.MessageSymbols() != 8*514 {
+		t.Errorf("payload = %d symbols", c.MessageSymbols())
+	}
+	if c.FrameBits()%c.Inner.N() != 0 {
+		t.Error("frame not whole inner blocks")
+	}
+	if r := c.Rate(); r < 0.80 || r > 0.90 {
+		t.Errorf("rate = %v", r)
+	}
+}
+
+func TestCodecCleanRoundTrip(t *testing.T) {
+	c := newTestCodec(t)
+	r := sim.NewRand(1)
+	msgs := randMessages(r, c)
+	frame, err := c.Encode(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != c.FrameBits() {
+		t.Fatalf("frame = %d bits", len(frame))
+	}
+	got, corrected, err := c.DecodeHard(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected != 0 {
+		t.Errorf("clean frame corrected %d symbols", corrected)
+	}
+	if !sameMessages(got, msgs) {
+		t.Fatal("round trip corrupted payload")
+	}
+}
+
+func TestCodecEncodeErrors(t *testing.T) {
+	c := newTestCodec(t)
+	if _, err := c.Encode(make([][]int, 3)); !errors.Is(err, ErrOuterCount) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := c.DecodeHard(make([]byte, 10)); !errors.Is(err, ErrFrameSize) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCodecSurvivesDestroyedInnerBlock(t *testing.T) {
+	// A completely destroyed inner block is a worst-case burst; the
+	// cross-codeword interleaving must dilute it below every outer
+	// decoder's correction radius.
+	c := newTestCodec(t)
+	r := sim.NewRand(2)
+	msgs := randMessages(r, c)
+	frame, _ := c.Encode(msgs)
+	blk := 17
+	for i := blk * c.Inner.N(); i < (blk+1)*c.Inner.N(); i++ {
+		frame[i] ^= byte(r.Intn(2))
+	}
+	got, _, err := c.DecodeHard(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMessages(got, msgs) {
+		t.Fatal("burst not corrected")
+	}
+}
+
+func TestCodecRandomErrorsHard(t *testing.T) {
+	// Random channel errors at 1e-3: hard inner decoding fixes singles,
+	// the outer RS cleans the rest.
+	c := newTestCodec(t)
+	r := sim.NewRand(3)
+	msgs := randMessages(r, c)
+	frame, _ := c.Encode(msgs)
+	flips := 0
+	for i := range frame {
+		if r.Bernoulli(1e-3) {
+			frame[i] ^= 1
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Fatal("no errors injected")
+	}
+	got, _, err := c.DecodeHard(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMessages(got, msgs) {
+		t.Fatal("random errors not corrected")
+	}
+}
+
+func TestCodecSoftBeatsHard(t *testing.T) {
+	// At a channel SNR where hard concatenated decoding starts failing,
+	// Chase-2 soft decoding must still succeed (the soft-decision gain of
+	// Fig 12, demonstrated with real codecs).
+	c := newTestCodec(t)
+	r := sim.NewRand(4)
+	sigma := 0.42 // BPSK ±1, raw BER ≈ Q(1/0.42) ≈ 9e-3
+
+	hardWins, softWins := 0, 0
+	const frames = 6
+	for f := 0; f < frames; f++ {
+		msgs := randMessages(r, c)
+		frame, err := c.Encode(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llr := make([]float64, len(frame))
+		for i, b := range frame {
+			s := 1.0
+			if b == 1 {
+				s = -1.0
+			}
+			llr[i] = s + sigma*r.NormFloat64()
+		}
+		hard := make([]byte, len(frame))
+		for i, v := range llr {
+			if v < 0 {
+				hard[i] = 1
+			}
+		}
+		if got, _, err := c.DecodeHard(hard); err == nil && sameMessages(got, msgs) {
+			hardWins++
+		}
+		if got, _, err := c.DecodeSoft(llr); err == nil && sameMessages(got, msgs) {
+			softWins++
+		}
+	}
+	if softWins <= hardWins {
+		t.Fatalf("soft decoding (%d/%d) not better than hard (%d/%d)",
+			softWins, frames, hardWins, frames)
+	}
+	if softWins < frames-1 {
+		t.Fatalf("soft decoding too weak: %d/%d", softWins, frames)
+	}
+}
+
+func TestCodecReportsCorrections(t *testing.T) {
+	c := newTestCodec(t)
+	r := sim.NewRand(5)
+	msgs := randMessages(r, c)
+	frame, _ := c.Encode(msgs)
+	// Flip a pair of adjacent bits inside one inner block: hard inner
+	// decoding detects-but-cannot-correct a double, so the outer decoder
+	// must do work.
+	frame[100] ^= 1
+	frame[101] ^= 1
+	_, corrected, err := c.DecodeHard(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected == 0 {
+		t.Fatal("outer corrections not reported")
+	}
+}

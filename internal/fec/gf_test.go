@@ -1,0 +1,152 @@
+package fec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lightwave/internal/sim"
+)
+
+func TestFieldBasics(t *testing.T) {
+	f := GF1024()
+	if f.Size() != 1024 || f.Bits() != 10 {
+		t.Fatalf("size=%d bits=%d", f.Size(), f.Bits())
+	}
+	if f.Add(5, 5) != 0 {
+		t.Error("a+a != 0 in char 2")
+	}
+	if f.Mul(0, 7) != 0 || f.Mul(7, 0) != 0 {
+		t.Error("0 not absorbing")
+	}
+	if f.Mul(1, 7) != 7 {
+		t.Error("1 not identity")
+	}
+}
+
+func TestFieldInverse(t *testing.T) {
+	f := GF1024()
+	for a := 1; a < f.Size(); a++ {
+		if f.Mul(a, f.Inv(a)) != 1 {
+			t.Fatalf("a·a⁻¹ != 1 for a=%d", a)
+		}
+	}
+}
+
+func TestFieldDivMulRoundTrip(t *testing.T) {
+	f := GF1024()
+	r := sim.NewRand(1)
+	for i := 0; i < 1000; i++ {
+		a := r.Intn(1024)
+		b := 1 + r.Intn(1023)
+		if f.Mul(f.Div(a, b), b) != a {
+			t.Fatalf("(a/b)·b != a for a=%d b=%d", a, b)
+		}
+	}
+}
+
+func TestFieldDistributive(t *testing.T) {
+	f := GF1024()
+	err := quick.Check(func(a, b, c uint16) bool {
+		x, y, z := int(a)%1024, int(b)%1024, int(c)%1024
+		return f.Mul(x, f.Add(y, z)) == f.Add(f.Mul(x, y), f.Mul(x, z))
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldAssociativeCommutative(t *testing.T) {
+	f := GF1024()
+	err := quick.Check(func(a, b, c uint16) bool {
+		x, y, z := int(a)%1024, int(b)%1024, int(c)%1024
+		return f.Mul(x, y) == f.Mul(y, x) &&
+			f.Mul(f.Mul(x, y), z) == f.Mul(x, f.Mul(y, z))
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldExpLog(t *testing.T) {
+	f := GF1024()
+	for i := 0; i < 1023; i++ {
+		if f.Log(f.Exp(i)) != i {
+			t.Fatalf("Log(Exp(%d)) = %d", i, f.Log(f.Exp(i)))
+		}
+	}
+	if f.Exp(-1) != f.Exp(1022) {
+		t.Error("negative exponent wrap broken")
+	}
+	if f.Exp(1023) != f.Exp(0) {
+		t.Error("positive exponent wrap broken")
+	}
+}
+
+func TestFieldGeneratorCoversGroup(t *testing.T) {
+	f := GF1024()
+	seen := make(map[int]bool)
+	for i := 0; i < 1023; i++ {
+		seen[f.Exp(i)] = true
+	}
+	if len(seen) != 1023 {
+		t.Fatalf("α generated %d distinct elements, want 1023", len(seen))
+	}
+}
+
+func TestFieldPanics(t *testing.T) {
+	f := GF1024()
+	for _, fn := range []func(){
+		func() { f.Div(1, 0) },
+		func() { f.Inv(0) },
+		func() { f.Log(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNonPrimitivePolyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-primitive polynomial accepted")
+		}
+	}()
+	// x^4 + 1 is not primitive over GF(2^4).
+	NewField(4, 0x11)
+}
+
+func TestPolyEval(t *testing.T) {
+	f := NewField(4, 0x13) // GF(16), x^4+x+1
+	// p(x) = 1 + x: p(α) = 1 ^ α.
+	p := []int{1, 1}
+	if got := f.PolyEval(p, f.Exp(1)); got != 1^f.Exp(1) {
+		t.Fatalf("PolyEval = %d", got)
+	}
+	if f.PolyEval(nil, 5) != 0 {
+		t.Error("empty poly should evaluate to 0")
+	}
+}
+
+func TestPolyMul(t *testing.T) {
+	f := NewField(4, 0x13)
+	// (1+x)(1+x) = 1 + x^2 over GF(2).
+	got := f.PolyMul([]int{1, 1}, []int{1, 1})
+	want := []int{1, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if f.PolyMul(nil, []int{1}) != nil {
+		t.Error("empty operand should give nil")
+	}
+}

@@ -1,0 +1,135 @@
+package fec
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lightwave/internal/sim"
+)
+
+func TestInterleaverRoundTrip(t *testing.T) {
+	iv, err := NewInterleaver(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]int, iv.Size())
+	for i := range in {
+		in[i] = i
+	}
+	mid, err := iv.Interleave(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iv.Deinterleave(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("round trip broken at %d", i)
+		}
+	}
+}
+
+func TestInterleaverActuallyPermutes(t *testing.T) {
+	iv, _ := NewInterleaver(4, 8)
+	in := make([]int, iv.Size())
+	for i := range in {
+		in[i] = i
+	}
+	mid, _ := iv.Interleave(in)
+	moved := 0
+	for i := range in {
+		if mid[i] != in[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("interleaver is identity")
+	}
+}
+
+func TestInterleaverLengthErrors(t *testing.T) {
+	iv, _ := NewInterleaver(4, 8)
+	if _, err := iv.Interleave(make([]int, 3)); !errors.Is(err, ErrCodewordLength) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := iv.Deinterleave(make([]int, 3)); !errors.Is(err, ErrCodewordLength) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := NewInterleaver(0, 8); err == nil {
+		t.Error("0 rows accepted")
+	}
+}
+
+func TestInterleaverBurstSpread(t *testing.T) {
+	iv, _ := NewInterleaver(8, 16)
+	if got := iv.BurstSpread(8); got != 1 {
+		t.Errorf("spread(8) = %d, want 1", got)
+	}
+	if got := iv.BurstSpread(9); got != 2 {
+		t.Errorf("spread(9) = %d, want 2", got)
+	}
+	if got := iv.BurstSpread(0); got != 0 {
+		t.Errorf("spread(0) = %d", got)
+	}
+}
+
+func TestInterleaverBurstSpreadEmpirical(t *testing.T) {
+	// Inject a contiguous burst in the interleaved domain and verify no
+	// row (outer codeword) takes more than BurstSpread symbols of it.
+	iv, _ := NewInterleaver(8, 16)
+	r := sim.NewRand(1)
+	for trial := 0; trial < 50; trial++ {
+		burst := 1 + r.Intn(30)
+		start := r.Intn(iv.Size() - burst)
+		marked := make([]int, iv.Size())
+		for i := start; i < start+burst; i++ {
+			marked[i] = 1
+		}
+		orig, _ := iv.Deinterleave(marked)
+		perRow := make([]int, 8)
+		for i, m := range orig {
+			if m == 1 {
+				perRow[i/16]++
+			}
+		}
+		maxRow := 0
+		for _, c := range perRow {
+			if c > maxRow {
+				maxRow = c
+			}
+		}
+		if maxRow > iv.BurstSpread(burst) {
+			t.Fatalf("burst %d spread %d > bound %d", burst, maxRow, iv.BurstSpread(burst))
+		}
+	}
+}
+
+func TestInterleaverProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, rRaw, cRaw uint8) bool {
+		rows := int(rRaw%16) + 1
+		cols := int(cRaw%16) + 1
+		iv, err := NewInterleaver(rows, cols)
+		if err != nil {
+			return false
+		}
+		rnd := sim.NewRand(seed)
+		in := make([]int, iv.Size())
+		for i := range in {
+			in[i] = rnd.Intn(1000)
+		}
+		mid, _ := iv.Interleave(in)
+		out, _ := iv.Deinterleave(mid)
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}

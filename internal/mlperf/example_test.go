@@ -1,0 +1,21 @@
+package mlperf_test
+
+import (
+	"fmt"
+	"log"
+
+	"lightwave/internal/mlperf"
+)
+
+// Example reproduces Table 2's LLM1 row: the slice-shape optimizer finds
+// the highly asymmetric 4x4x256 configuration, 3.32x faster than the
+// static 16x16x16 baseline.
+func Example() {
+	sys := mlperf.DefaultSystem()
+	res, err := sys.OptimizeSlice(mlperf.LLM1(), 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s %.2fx\n", res.Best.Shape, res.Speedup)
+	// Output: 4x4x256 3.32x
+}

@@ -1,0 +1,215 @@
+// Package mlperf models large-language-model training performance on TPU v4
+// slices and implements the slice-shape optimizer of §4.2.1: given a model's
+// inherent model/data parallelism, it searches every slice configuration of
+// a pod and returns the fastest — reproducing Table 2's result that there is
+// "no one-size-fits-all optimal slice configuration".
+//
+// Mapping follows the paper: the 1st torus dimension carries model
+// parallelism (a ring of X chips) and the 2nd and 3rd dimensions carry data
+// parallelism (Y·Z replicas). The step-time model combines:
+//
+//   - compute, derated when the slice forces more model parallelism than
+//     the model inherently has ("the amount of inherent model and data
+//     parallelism for an LLM determines the optimal slice configuration")
+//     and when the per-replica batch is too small to fill the chips;
+//   - tensor-parallel activation all-reduces on the dim-1 ring;
+//   - the data-parallel gradient all-reduce over the replica grid,
+//     partially overlapped with backward compute;
+//   - per-layer all-to-all traffic (activation re-sharding / routing)
+//     bounded by the slice's bisection bandwidth — the term that makes
+//     models with heavy cross-replica exchange "prefer the 16×16×16 cube
+//     slice configuration to leverage the maximum bisection bandwidth".
+//
+// The three workloads LLM0/LLM1/LLM2 are calibrated to the paper's
+// parameter counts and its qualitative description of their batch-to-model-
+// size ratios; DESIGN.md records the calibration as a substitution.
+package mlperf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lightwave/internal/topo"
+)
+
+// LLM describes a transformer workload.
+type LLM struct {
+	Name string
+	// Params is the total parameter count.
+	Params float64
+	// Layers is the number of transformer layers.
+	Layers int
+	// Hidden is the model width (P ≈ 12·Layers·Hidden²).
+	Hidden float64
+	// GlobalBatch is the global batch size in sequences per step; it
+	// determines the inherent data parallelism.
+	GlobalBatch float64
+	// SeqLen is the tokens per sequence.
+	SeqLen float64
+	// InherentMP is the model-parallel degree beyond which splitting the
+	// model stops scaling (per-chip work becomes too fine-grained); it
+	// determines the inherent model parallelism.
+	InherentMP float64
+	// A2ABytesPerToken is the per-layer, per-token payload of activation
+	// re-sharding / routing all-to-alls that stress bisection bandwidth.
+	A2ABytesPerToken float64
+}
+
+// LLM0 is the 35-billion-parameter model of Table 2: batch much larger
+// than model size, optimal on the moderately asymmetric 8×16×32.
+func LLM0() LLM {
+	return LLM{Name: "LLM0", Params: 35e9, Layers: 48, Hidden: 7808,
+		GlobalBatch: 4096, SeqLen: 2048, InherentMP: 9.3, A2ABytesPerToken: 2930}
+}
+
+// LLM1 is the 70-billion-parameter model whose parallelism is the most
+// skewed toward data parallelism: optimal on the highly asymmetric
+// 4×4×256 (3.32× over the static baseline).
+func LLM1() LLM {
+	return LLM{Name: "LLM1", Params: 70e9, Layers: 80, Hidden: 8540,
+		GlobalBatch: 16384, SeqLen: 2048, InherentMP: 4, A2ABytesPerToken: 0}
+}
+
+// LLM2 is the 150-billion-parameter model with ample model and data
+// parallelism and heavy cross-replica exchange: optimal on the symmetric,
+// maximum-bisection 16×16×16.
+func LLM2() LLM {
+	return LLM{Name: "LLM2", Params: 150e9, Layers: 96, Hidden: 11408,
+		GlobalBatch: 3072, SeqLen: 2048, InherentMP: 16, A2ABytesPerToken: 8192}
+}
+
+// System captures the hardware and mapping constants of a TPU v4 superpod.
+type System struct {
+	// LinkBandwidthBps is the per-direction ICI link bandwidth (bytes/s).
+	LinkBandwidthBps float64
+	// LinkLatencySec is the per-hop ICI latency.
+	LinkLatencySec float64
+	// FlopsPerChip is the peak chip throughput (FLOP/s).
+	FlopsPerChip float64
+	// MFU is the model FLOP utilization at ideal parallelism.
+	MFU float64
+	// HBMBytes is the per-chip memory budget available to weights.
+	HBMBytes float64
+	// WeightBytesPerParam is the per-chip residency per parameter of the
+	// model-parallel shard.
+	WeightBytesPerParam float64
+	// GradBytesPerParam is the gradient payload per parameter in the
+	// data-parallel all-reduce.
+	GradBytesPerParam float64
+	// TPCollectivesPerLayer is the number of activation all-reduces per
+	// layer per step (forward + backward).
+	TPCollectivesPerLayer float64
+	// MPOvershootExp is the scaling exponent of model parallelism beyond
+	// the inherent degree: effective speedup = InherentMP·(m/InherentMP)^exp
+	// for m > InherentMP.
+	MPOvershootExp float64
+	// BatchEffHalf is the per-replica batch at which compute efficiency
+	// reaches 50% of peak (efficiency = b/(b+BatchEffHalf)).
+	BatchEffHalf float64
+	// DPOverlap is the fraction of the data-parallel all-reduce hidden
+	// under backward compute.
+	DPOverlap float64
+}
+
+// DefaultSystem returns the calibrated TPU v4 system model.
+func DefaultSystem() System {
+	return System{
+		LinkBandwidthBps:      50e9,
+		LinkLatencySec:        0.8e-6,
+		FlopsPerChip:          275e12,
+		MFU:                   0.45,
+		HBMBytes:              34e9,
+		WeightBytesPerParam:   1.9,
+		GradBytesPerParam:     2.0,
+		TPCollectivesPerLayer: 4,
+		MPOvershootExp:        0.1,
+		BatchEffHalf:          1.5,
+		DPOverlap:             0.6,
+	}
+}
+
+// StepBreakdown decomposes one training step.
+type StepBreakdown struct {
+	Compute float64
+	TP      float64 // tensor-parallel activation collectives
+	DP      float64 // exposed data-parallel gradient all-reduce
+	A2A     float64 // bisection-bound all-to-all traffic
+	Total   float64
+}
+
+// Errors returned by the performance model.
+var (
+	ErrInfeasible = errors.New("mlperf: shape infeasible for model")
+	ErrBadShape   = errors.New("mlperf: invalid shape")
+)
+
+// mpSpeed returns the effective parallel speedup of model parallelism m for
+// a model with the given inherent degree: linear up to the inherent degree,
+// heavily diminishing beyond it.
+func (sys System) mpSpeed(m, inherent float64) float64 {
+	if m <= inherent {
+		return m
+	}
+	return inherent * math.Pow(m/inherent, sys.MPOvershootExp)
+}
+
+// batchEff returns the compute efficiency of a per-replica batch b.
+func (sys System) batchEff(b float64) float64 {
+	return b / (b + sys.BatchEffHalf)
+}
+
+// StepTime returns the modeled training step time of the model on a slice
+// of the given shape, or ErrInfeasible if the model-parallel shard does not
+// fit in memory or the batch cannot be split across the replicas.
+func (sys System) StepTime(m LLM, shape topo.Shape) (StepBreakdown, error) {
+	if !shape.Valid() {
+		return StepBreakdown{}, fmt.Errorf("%w: %v", ErrBadShape, shape)
+	}
+	mp := float64(shape.X)           // model-parallel degree (dim 1)
+	dp := float64(shape.Y * shape.Z) // data-parallel degree (dims 2-3)
+
+	if sys.WeightBytesPerParam*m.Params/mp > sys.HBMBytes {
+		return StepBreakdown{}, fmt.Errorf("%w: %s shard %.1f GB on %v exceeds HBM",
+			ErrInfeasible, m.Name, sys.WeightBytesPerParam*m.Params/mp/1e9, shape)
+	}
+	b := m.GlobalBatch / dp
+	if b < 1 {
+		return StepBreakdown{}, fmt.Errorf("%w: %s batch %g < 1 per replica on %v",
+			ErrInfeasible, m.Name, b, shape)
+	}
+
+	var s StepBreakdown
+
+	// Compute: 6·P FLOPs per token over the chips that model parallelism
+	// can actually use, derated by small-batch inefficiency.
+	tokens := m.GlobalBatch * m.SeqLen
+	effChips := dp * sys.mpSpeed(mp, m.InherentMP)
+	s.Compute = 6 * m.Params * tokens / (effChips * sys.FlopsPerChip * sys.MFU * sys.batchEff(b))
+
+	// Tensor-parallel activation all-reduces: rings of mp chips moving the
+	// per-replica activation slab (b·SeqLen·Hidden·2 bytes) each collective.
+	if mp > 1 {
+		actBytes := b * m.SeqLen * m.Hidden * 2
+		perCollective := (mp-1)/mp*actBytes/(2*sys.LinkBandwidthBps) + (mp-1)*sys.LinkLatencySec
+		s.TP = float64(m.Layers) * sys.TPCollectivesPerLayer * perCollective
+	}
+
+	// Data-parallel gradient all-reduce over a ring snaking through the
+	// Y×Z replica grid (a Hamiltonian ring exists for all slice shapes),
+	// partially overlapped with backward compute.
+	if dp > 1 {
+		gradBytes := sys.GradBytesPerParam * m.Params / mp
+		dpTime := (dp-1)/dp*gradBytes/(2*sys.LinkBandwidthBps) + 2*(dp-1)*sys.LinkLatencySec
+		s.DP = dpTime * (1 - sys.DPOverlap)
+	}
+
+	// Per-layer all-to-all: half the payload crosses the minimum bisection.
+	if bis := float64(shape.BisectionLinks()); bis > 0 && m.A2ABytesPerToken > 0 {
+		perLayer := tokens * m.A2ABytesPerToken / 2
+		s.A2A = float64(m.Layers) * perLayer / (bis * sys.LinkBandwidthBps)
+	}
+
+	s.Total = s.Compute + s.TP + s.DP + s.A2A
+	return s, nil
+}

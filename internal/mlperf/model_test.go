@@ -1,0 +1,155 @@
+package mlperf
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"lightwave/internal/topo"
+)
+
+func TestStepTimeComponentsPositive(t *testing.T) {
+	sys := DefaultSystem()
+	st, err := sys.StepTime(LLM0(), topo.Shape{X: 8, Y: 16, Z: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Compute <= 0 || st.TP <= 0 || st.DP <= 0 || st.A2A <= 0 {
+		t.Fatalf("breakdown = %+v", st)
+	}
+	if math.Abs(st.Total-(st.Compute+st.TP+st.DP+st.A2A)) > 1e-12 {
+		t.Fatal("total != sum of parts")
+	}
+}
+
+func TestMemoryInfeasibility(t *testing.T) {
+	sys := DefaultSystem()
+	// LLM2 (150B × 1.9 B/param = 285 GB) cannot fit with model parallelism
+	// 8 (35.6 GB/chip > 34 GB) — the constraint that forces m ≥ 16.
+	_, err := sys.StepTime(LLM2(), topo.Shape{X: 8, Y: 16, Z: 32})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := sys.StepTime(LLM2(), topo.Shape{X: 16, Y: 16, Z: 16}); err != nil {
+		t.Fatalf("16³ should fit LLM2: %v", err)
+	}
+}
+
+func TestBatchInfeasibility(t *testing.T) {
+	sys := DefaultSystem()
+	m := LLM0()
+	m.GlobalBatch = 100 // fewer sequences than 1024 replicas
+	_, err := sys.StepTime(m, topo.Shape{X: 4, Y: 4, Z: 256})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvalidShape(t *testing.T) {
+	sys := DefaultSystem()
+	if _, err := sys.StepTime(LLM0(), topo.Shape{X: 3, Y: 4, Z: 4}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMPSpeedSaturates(t *testing.T) {
+	sys := DefaultSystem()
+	// Linear up to inherent, strongly diminishing beyond.
+	if got := sys.mpSpeed(4, 8); got != 4 {
+		t.Fatalf("below inherent: %v", got)
+	}
+	if got := sys.mpSpeed(8, 8); got != 8 {
+		t.Fatalf("at inherent: %v", got)
+	}
+	over := sys.mpSpeed(16, 8)
+	if over <= 8 || over >= 12 {
+		t.Fatalf("overshoot speed = %v, want slightly above 8", over)
+	}
+}
+
+func TestBatchEfficiency(t *testing.T) {
+	sys := DefaultSystem()
+	if e := sys.batchEff(1000); e < 0.99 {
+		t.Fatalf("large batch eff = %v", e)
+	}
+	if e := sys.batchEff(sys.BatchEffHalf); math.Abs(e-0.5) > 1e-12 {
+		t.Fatalf("half-point eff = %v", e)
+	}
+	if sys.batchEff(2) >= sys.batchEff(8) {
+		t.Fatal("efficiency not increasing in batch")
+	}
+}
+
+func TestExcessModelParallelismHurtsCompute(t *testing.T) {
+	// The core Table 2 mechanism: forcing MP beyond the model's inherent
+	// degree wastes compute.
+	sys := DefaultSystem()
+	m := LLM1() // inherent MP 4
+	at4, err := sys.StepTime(m, topo.Shape{X: 4, Y: 16, Z: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at16, err := sys.StepTime(m, topo.Shape{X: 16, Y: 16, Z: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at16.Compute <= at4.Compute*2 {
+		t.Fatalf("MP overshoot penalty too weak: %v vs %v", at16.Compute, at4.Compute)
+	}
+}
+
+func TestA2AFavorsBisection(t *testing.T) {
+	sys := DefaultSystem()
+	m := LLM2()
+	sym, err := sys.StepTime(m, topo.Shape{X: 16, Y: 16, Z: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asym, err := sys.StepTime(m, topo.Shape{X: 16, Y: 4, Z: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asym.A2A <= sym.A2A {
+		t.Fatal("lower bisection should cost more all-to-all time")
+	}
+}
+
+func TestTPGrowsWithPerReplicaBatch(t *testing.T) {
+	sys := DefaultSystem()
+	m := LLM1()
+	small, _ := sys.StepTime(m, topo.Shape{X: 4, Y: 4, Z: 256})  // dp=1024, b=16
+	large, _ := sys.StepTime(m, topo.Shape{X: 16, Y: 16, Z: 16}) // dp=256, b=64
+	if large.TP <= small.TP {
+		t.Fatal("TP collectives should grow with per-replica batch and ring size")
+	}
+}
+
+func TestDPGrowsWithReplicas(t *testing.T) {
+	sys := DefaultSystem()
+	m := LLM1()
+	few, _ := sys.StepTime(m, topo.Shape{X: 16, Y: 16, Z: 16}) // dp=256, shard P/16
+	many, _ := sys.StepTime(m, topo.Shape{X: 4, Y: 4, Z: 256}) // dp=1024, shard P/4
+	if many.DP <= few.DP {
+		t.Fatal("DP all-reduce should cost more with a larger shard")
+	}
+}
+
+func TestModelParameterConsistency(t *testing.T) {
+	// P ≈ 12·L·h² within 5% for all three workloads.
+	for _, m := range []LLM{LLM0(), LLM1(), LLM2()} {
+		est := 12 * float64(m.Layers) * m.Hidden * m.Hidden
+		if r := est / m.Params; r < 0.95 || r > 1.05 {
+			t.Errorf("%s: 12Lh² = %.3g vs P = %.3g", m.Name, est, m.Params)
+		}
+	}
+}
+
+func TestBatchSkewMatchesNarrative(t *testing.T) {
+	// "LLM0 and LLM1 have much larger global batch size than their model
+	// size ... LLM1's inherent parallelism being more skewed to data
+	// parallelism"; batch-to-params ratio must be LLM1 > LLM0 > LLM2.
+	r := func(m LLM) float64 { return m.GlobalBatch / (m.Params / 1e9) }
+	if !(r(LLM1()) > r(LLM0()) && r(LLM0()) > r(LLM2())) {
+		t.Fatalf("batch skew ordering broken: %v %v %v", r(LLM0()), r(LLM1()), r(LLM2()))
+	}
+}

@@ -1,0 +1,85 @@
+package mlperf
+
+import (
+	"fmt"
+
+	"lightwave/internal/collective"
+	"lightwave/internal/topo"
+)
+
+// Multi-pod scale-out (§2.2.2): models too large (or batches too big) for
+// one superpod train across several pods, with data parallelism spanning
+// the DCN. The per-pod slice keeps the paper's mapping (model parallelism
+// on dim 1), in-pod data parallelism rides the ICI, and the cross-pod
+// gradient all-reduce rides the DCN via the hierarchical collective of
+// Fig 2c. DCN-level topology engineering (reconfiguring the inter-pod
+// lightwave fabric) changes CrossPodBandwidth.
+
+// MultiPodConfig describes a scale-out job.
+type MultiPodConfig struct {
+	// Pods is the number of superpods.
+	Pods int
+	// ShapePerPod is the slice shape used in every pod.
+	ShapePerPod topo.Shape
+	// CrossPod is the effective per-chip cross-pod link class.
+	CrossPod collective.Link
+}
+
+// DefaultCrossPod returns the uncontended per-chip DCN link class.
+func DefaultCrossPod() collective.Link { return collective.DCNLink() }
+
+// MultiPodStep extends StepBreakdown with the cross-pod phase.
+type MultiPodStep struct {
+	StepBreakdown
+	// CrossPodDP is the exposed cross-pod gradient all-reduce time.
+	CrossPodDP float64
+}
+
+// StepTimeMultiPod returns the step time of the model on cfg.Pods pods.
+// The global batch is split across all replicas (in-pod DP × pods).
+func (sys System) StepTimeMultiPod(m LLM, cfg MultiPodConfig) (MultiPodStep, error) {
+	if cfg.Pods < 1 {
+		return MultiPodStep{}, fmt.Errorf("%w: pods %d", ErrBadShape, cfg.Pods)
+	}
+	// Per-pod view: the pod's replicas handle GlobalBatch/Pods.
+	perPod := m
+	perPod.GlobalBatch = m.GlobalBatch / float64(cfg.Pods)
+	step, err := sys.StepTime(perPod, cfg.ShapePerPod)
+	if err != nil {
+		return MultiPodStep{}, err
+	}
+	out := MultiPodStep{StepBreakdown: step}
+	if cfg.Pods > 1 {
+		// Cross-pod all-reduce of the per-chip gradient shard left after
+		// the in-pod reduce-scatter.
+		mp := float64(cfg.ShapePerPod.X)
+		shard := sys.GradBytesPerParam * m.Params / mp / float64(cfg.ShapePerPod.Chips()/cfg.ShapePerPod.X)
+		ring := collective.Ring{N: cfg.Pods, Link: cfg.CrossPod}
+		cross, err := ring.AllReduceTime(shard)
+		if err != nil {
+			return MultiPodStep{}, err
+		}
+		out.CrossPodDP = cross * (1 - sys.DPOverlap)
+		out.Total += out.CrossPodDP
+	}
+	return out, nil
+}
+
+// ScaleOutEfficiency returns throughput(P pods)/(P × throughput(1 pod)):
+// the weak-scaling efficiency of adding pods at fixed per-pod batch.
+func (sys System) ScaleOutEfficiency(m LLM, cfg MultiPodConfig) (float64, error) {
+	single := cfg
+	single.Pods = 1
+	mSingle := m
+	mSingle.GlobalBatch = m.GlobalBatch / float64(cfg.Pods)
+	oneStep, err := sys.StepTimeMultiPod(mSingle, single)
+	if err != nil {
+		return 0, err
+	}
+	multi, err := sys.StepTimeMultiPod(m, cfg)
+	if err != nil {
+		return 0, err
+	}
+	// Same per-pod work per step; efficiency is the step-time ratio.
+	return oneStep.Total / multi.Total, nil
+}

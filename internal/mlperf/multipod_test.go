@@ -1,0 +1,117 @@
+package mlperf
+
+import (
+	"testing"
+
+	"lightwave/internal/collective"
+	"lightwave/internal/topo"
+)
+
+func multiPodCfg(pods int) MultiPodConfig {
+	return MultiPodConfig{
+		Pods:        pods,
+		ShapePerPod: topo.Shape{X: 8, Y: 16, Z: 32},
+		CrossPod:    DefaultCrossPod(),
+	}
+}
+
+func TestMultiPodSinglePodMatchesStepTime(t *testing.T) {
+	sys := DefaultSystem()
+	m := LLM0()
+	single, err := sys.StepTimeMultiPod(m, multiPodCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sys.StepTime(m, topo.Shape{X: 8, Y: 16, Z: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Total != direct.Total || single.CrossPodDP != 0 {
+		t.Fatalf("single pod %v vs direct %v", single.Total, direct.Total)
+	}
+}
+
+func TestMultiPodAddsCrossPodPhase(t *testing.T) {
+	sys := DefaultSystem()
+	m := LLM0()
+	m.GlobalBatch = 16384 // enough batch for 4 pods of 512 replicas
+	step, err := sys.StepTimeMultiPod(m, multiPodCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.CrossPodDP <= 0 {
+		t.Fatal("no cross-pod phase")
+	}
+	if step.Total <= step.StepBreakdown.Compute {
+		t.Fatal("total not accumulating phases")
+	}
+}
+
+func TestMultiPodValidation(t *testing.T) {
+	sys := DefaultSystem()
+	if _, err := sys.StepTimeMultiPod(LLM0(), MultiPodConfig{Pods: 0}); err == nil {
+		t.Fatal("0 pods accepted")
+	}
+}
+
+func TestScaleOutEfficiencyBelowOne(t *testing.T) {
+	// Weak scaling across pods costs cross-pod communication: efficiency
+	// must be in (0.5, 1).
+	sys := DefaultSystem()
+	m := LLM0()
+	m.GlobalBatch = 16384
+	eff, err := sys.ScaleOutEfficiency(m, multiPodCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff >= 1 || eff <= 0.5 {
+		t.Fatalf("scale-out efficiency = %v", eff)
+	}
+}
+
+func TestDCNTopologyEngineeringHelpsScaleOut(t *testing.T) {
+	// §2.2.2: co-optimizing the DCN topology (more inter-pod trunks →
+	// higher cross-pod bandwidth) improves the hybrid job.
+	sys := DefaultSystem()
+	m := LLM0()
+	m.GlobalBatch = 16384
+	base := multiPodCfg(4)
+	base.CrossPod = collective.Link{
+		BandwidthBps: DefaultCrossPod().BandwidthBps / 8, // contended share
+		LatencySec:   DefaultCrossPod().LatencySec,
+	}
+	engineered := base
+	engineered.CrossPod.BandwidthBps *= 4 // direct trunks via OCS reconfig
+
+	slow, err := sys.StepTimeMultiPod(m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := sys.StepTimeMultiPod(m, engineered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Total >= slow.Total {
+		t.Fatalf("DCN TE did not help: %v vs %v", fast.Total, slow.Total)
+	}
+	if fast.CrossPodDP >= slow.CrossPodDP {
+		t.Fatal("cross-pod phase not reduced")
+	}
+}
+
+func TestMorePodsMoreCrossPodTime(t *testing.T) {
+	sys := DefaultSystem()
+	m := LLM0()
+	m.GlobalBatch = 32768
+	two, err := sys.StepTimeMultiPod(m, multiPodCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := sys.StepTimeMultiPod(m, multiPodCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.CrossPodDP <= two.CrossPodDP {
+		t.Fatalf("cross-pod time did not grow: %v vs %v", two.CrossPodDP, eight.CrossPodDP)
+	}
+}

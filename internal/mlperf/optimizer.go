@@ -1,0 +1,132 @@
+package mlperf
+
+import (
+	"fmt"
+	"sort"
+
+	"lightwave/internal/topo"
+)
+
+// ShapeTime pairs a slice shape with its modeled step time.
+type ShapeTime struct {
+	Shape topo.Shape
+	Step  StepBreakdown
+	// Feasible is false when the model cannot be mapped onto the shape.
+	Feasible bool
+	Err      error
+}
+
+// SearchResult is the output of the slice-shape optimizer.
+type SearchResult struct {
+	Model LLM
+	// Best is the fastest feasible shape.
+	Best ShapeTime
+	// Baseline is the max-bisection symmetric static shape (16×16×16 for
+	// a full pod), the paper's Table 2 baseline.
+	Baseline ShapeTime
+	// Speedup is Baseline.Total / Best.Total (1.0 when the baseline is
+	// optimal or the baseline is infeasible).
+	Speedup float64
+	// All lists every evaluated shape, fastest first (infeasible last).
+	All []ShapeTime
+}
+
+// OptimizeSlice exhaustively evaluates every slice shape with the given
+// cube count and returns the fastest — the stand-in for the paper's
+// RL-based hardware-optimized NAS [33], exact because the search space is
+// tiny. Shapes whose step time is within Tolerance of the optimum are
+// considered tied; ties resolve toward the most model/data-asymmetric shape
+// (smallest model-parallel dimension, then longest final dimension),
+// matching the production optimizer's preference for long unbroken ring
+// dimensions.
+func (sys System) OptimizeSlice(m LLM, cubes int) (SearchResult, error) {
+	shapes := topo.ShapesFor(cubes)
+	if len(shapes) == 0 {
+		return SearchResult{}, fmt.Errorf("mlperf: no shapes for %d cubes", cubes)
+	}
+	res := SearchResult{Model: m}
+	for _, sh := range shapes {
+		st := ShapeTime{Shape: sh}
+		step, err := sys.StepTime(m, sh)
+		if err != nil {
+			st.Err = err
+		} else {
+			st.Feasible = true
+			st.Step = step
+		}
+		res.All = append(res.All, st)
+	}
+	sort.SliceStable(res.All, func(i, j int) bool {
+		a, b := res.All[i], res.All[j]
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		if !a.Feasible {
+			return false
+		}
+		return a.Step.Total < b.Step.Total
+	})
+	if !res.All[0].Feasible {
+		return res, fmt.Errorf("mlperf: no feasible shape for %s on %d cubes", m.Name, cubes)
+	}
+
+	// Tie-break within tolerance.
+	const tolerance = 0.005
+	best := res.All[0]
+	for _, st := range res.All[1:] {
+		if !st.Feasible {
+			break
+		}
+		if st.Step.Total > best.Step.Total*(1+tolerance) {
+			break
+		}
+		if morePreferred(st.Shape, best.Shape) {
+			best = st
+		}
+	}
+	res.Best = best
+
+	baseShape := topo.MaxBisectionShape(cubes)
+	baseStep, err := sys.StepTime(m, baseShape)
+	res.Baseline = ShapeTime{Shape: baseShape}
+	if err != nil {
+		res.Baseline.Err = err
+		res.Speedup = 1
+	} else {
+		res.Baseline.Feasible = true
+		res.Baseline.Step = baseStep
+		res.Speedup = baseStep.Total / best.Step.Total
+		if res.Speedup < 1 {
+			// The baseline itself is (within tie tolerance) optimal.
+			res.Speedup = 1
+			res.Best = res.Baseline
+		}
+	}
+	return res, nil
+}
+
+// morePreferred reports whether shape a is preferred over b under the tie
+// rule: smaller model-parallel dimension first, then longer last dimension.
+func morePreferred(a, b topo.Shape) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	if a.Z != b.Z {
+		return a.Z > b.Z
+	}
+	return false
+}
+
+// Table2 evaluates the three paper workloads on a full 64-cube pod and
+// returns their search results in order — the reproduction of Table 2.
+func Table2(sys System) ([]SearchResult, error) {
+	var out []SearchResult
+	for _, m := range []LLM{LLM0(), LLM1(), LLM2()} {
+		r, err := sys.OptimizeSlice(m, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package mlperf
+
+import (
+	"math"
+	"testing"
+
+	"lightwave/internal/topo"
+)
+
+// TestTable2 reproduces the paper's Table 2 exactly: optimal slice
+// configuration and relative speedup versus the static 16×16×16 baseline
+// for the three production LLMs.
+func TestTable2(t *testing.T) {
+	want := []struct {
+		shape   topo.Shape
+		speedup float64
+	}{
+		{topo.Shape{X: 8, Y: 16, Z: 32}, 1.54},
+		{topo.Shape{X: 4, Y: 4, Z: 256}, 3.32},
+		{topo.Shape{X: 16, Y: 16, Z: 16}, 1.00},
+	}
+	results, err := Table2(DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if r.Best.Shape != want[i].shape {
+			t.Errorf("%s: optimal = %v, want %v", r.Model.Name, r.Best.Shape, want[i].shape)
+		}
+		if math.Abs(r.Speedup-want[i].speedup)/want[i].speedup > 0.05 {
+			t.Errorf("%s: speedup = %.2f, want ≈%.2f", r.Model.Name, r.Speedup, want[i].speedup)
+		}
+	}
+}
+
+func TestBaselineIsMaxBisection(t *testing.T) {
+	sys := DefaultSystem()
+	r, err := sys.OptimizeSlice(LLM0(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Baseline.Shape != (topo.Shape{X: 16, Y: 16, Z: 16}) {
+		t.Fatalf("baseline = %v", r.Baseline.Shape)
+	}
+}
+
+func TestOptimizeOrdersResults(t *testing.T) {
+	sys := DefaultSystem()
+	r, err := sys.OptimizeSlice(LLM1(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	feasibleSeen := 0
+	for _, st := range r.All {
+		if !st.Feasible {
+			continue
+		}
+		feasibleSeen++
+		if st.Step.Total < prev {
+			t.Fatal("feasible results not sorted by step time")
+		}
+		prev = st.Step.Total
+	}
+	if feasibleSeen == 0 {
+		t.Fatal("no feasible shapes")
+	}
+	// Infeasible shapes must sort after feasible ones.
+	inTail := false
+	for _, st := range r.All {
+		if !st.Feasible {
+			inTail = true
+		} else if inTail {
+			t.Fatal("feasible shape after infeasible one")
+		}
+	}
+}
+
+func TestOptimizeSmallerPods(t *testing.T) {
+	// The optimizer must work for partial pods too (slices are composed at
+	// any multiple of the cube).
+	sys := DefaultSystem()
+	for _, cubes := range []int{1, 4, 16, 32} {
+		m := LLM0()
+		m.GlobalBatch = 1024
+		r, err := sys.OptimizeSlice(m, cubes)
+		if err != nil {
+			t.Fatalf("cubes=%d: %v", cubes, err)
+		}
+		if r.Best.Shape.Cubes() != cubes {
+			t.Fatalf("cubes=%d: best %v", cubes, r.Best.Shape)
+		}
+		if r.Speedup < 1 {
+			t.Fatalf("cubes=%d: speedup %v < 1", cubes, r.Speedup)
+		}
+	}
+}
+
+func TestOptimizeNoFeasibleShape(t *testing.T) {
+	sys := DefaultSystem()
+	// A 150B model on a single cube cannot fit under any shape.
+	if _, err := sys.OptimizeSlice(LLM2(), 1); err == nil {
+		t.Fatal("expected no feasible shape")
+	}
+}
+
+func TestOptimizeRejectsZeroCubes(t *testing.T) {
+	sys := DefaultSystem()
+	if _, err := sys.OptimizeSlice(LLM0(), 0); err == nil {
+		t.Fatal("0 cubes accepted")
+	}
+}
+
+func TestNoOneSizeFitsAll(t *testing.T) {
+	// The headline observation of §4.2.1: the optimal configuration
+	// differs across models.
+	results, err := Table2(DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := map[topo.Shape]bool{}
+	for _, r := range results {
+		shapes[r.Best.Shape] = true
+	}
+	if len(shapes) < 3 {
+		t.Fatalf("only %d distinct optima", len(shapes))
+	}
+}
+
+func TestSpeedupNeverBelowOne(t *testing.T) {
+	sys := DefaultSystem()
+	for _, m := range []LLM{LLM0(), LLM1(), LLM2()} {
+		r, err := sys.OptimizeSlice(m, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Speedup < 1 {
+			t.Fatalf("%s: speedup %v", m.Name, r.Speedup)
+		}
+	}
+}
+
+func TestTiePreferenceRule(t *testing.T) {
+	if !morePreferred(topo.Shape{X: 4, Y: 4, Z: 256}, topo.Shape{X: 4, Y: 32, Z: 32}) {
+		t.Error("longer Z should be preferred at equal X")
+	}
+	if !morePreferred(topo.Shape{X: 4, Y: 32, Z: 32}, topo.Shape{X: 8, Y: 16, Z: 32}) {
+		t.Error("smaller X should be preferred")
+	}
+	if morePreferred(topo.Shape{X: 8, Y: 16, Z: 32}, topo.Shape{X: 8, Y: 16, Z: 32}) {
+		t.Error("shape preferred over itself")
+	}
+}

@@ -1,0 +1,61 @@
+package ocs
+
+import "testing"
+
+func BenchmarkConnectDisconnect(b *testing.B) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		n := PortID(i % 136)
+		so := PortID((i + 17) % 136)
+		if _, err := s.Connect(n, so); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Disconnect(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyFullPermutation(b *testing.B) {
+	perm := make([]int, 136)
+	for i := range perm {
+		perm[i] = (i + 67) % 136
+	}
+	p, err := FullPermutation(perm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := New(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.Apply(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntrinsicLoss(b *testing.B) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = s.IntrinsicLossDB(PortID(i%136), PortID((i*31)%136))
+	}
+}
+
+func BenchmarkLifetimeSimulation(b *testing.B) {
+	p := DefaultReliability()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateLifetime(p, 10, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package ocs
+
+import (
+	"errors"
+
+	"lightwave/internal/sim"
+)
+
+// This file models the long-run field behaviour of §4.1.1: "On-going
+// reliability tests, manufacturing screens, and the ability to field
+// replace failed sub-assemblies leads to the chassis typically achieving
+// greater than 99.98% availability in the field today." The lifetime
+// simulation injects component failures at their MTBFs, applies the
+// redundancy rules of the FRU design (redundant PSUs and fans, hot-
+// swappable driver boards, a non-redundant control board), and accounts
+// downtime until field repair completes.
+
+// ReliabilityParams are the component failure/repair statistics.
+type ReliabilityParams struct {
+	// Mean time between failures per component instance, hours.
+	PSUMTBFHours     float64
+	FanMTBFHours     float64
+	DriverMTBFHours  float64
+	ControlMTBFHours float64
+	MirrorMTBFHours  float64
+	// RepairHours is the mean field-replacement time for a FRU.
+	RepairHours float64
+	// MaintenancePerYear scheduled maintenance windows per year, each
+	// MaintenanceHours of downtime.
+	MaintenancePerYear float64
+	MaintenanceHours   float64
+}
+
+// DefaultReliability returns the calibrated production figures.
+func DefaultReliability() ReliabilityParams {
+	return ReliabilityParams{
+		PSUMTBFHours:       175000,
+		FanMTBFHours:       60000,
+		DriverMTBFHours:    90000, // the HV drivers were the largest reliability challenge
+		ControlMTBFHours:   150000,
+		MirrorMTBFHours:    4.0e6, // per mirror; repaired from on-die spares
+		RepairHours:        8,
+		MaintenancePerYear: 1.5,
+		MaintenanceHours:   0.5,
+	}
+}
+
+// LifetimeReport summarizes a simulated deployment.
+type LifetimeReport struct {
+	Years          float64
+	DowntimeHours  float64
+	Availability   float64
+	FRUReplaced    int
+	DriverFailures int
+	MirrorFailures int
+	// PortsLost counts ports permanently failed after mirror-spare
+	// exhaustion.
+	PortsLost int
+}
+
+// ErrBadLifetime is returned for degenerate simulation spans.
+var ErrBadLifetime = errors.New("ocs: non-positive lifetime")
+
+// SimulateLifetime runs one chassis for the given number of years and
+// reports downtime and repair activity. The chassis is considered down
+// when power or cooling redundancy is exhausted, the control board is
+// dead, or a maintenance window is open; driver-board failures degrade
+// circuits but do not down the chassis (they are hot-swapped).
+func SimulateLifetime(p ReliabilityParams, years float64, rng *sim.Rand) (LifetimeReport, error) {
+	if years <= 0 {
+		return LifetimeReport{}, ErrBadLifetime
+	}
+	if rng == nil {
+		rng = sim.NewRand(0x0C5)
+	}
+	horizon := years * 8766 // hours
+
+	var q sim.Queue
+	rep := LifetimeReport{Years: years}
+
+	psuDown, fanDown, boardDown := 0, 0, 0
+	controlDown := false
+	maintenance := false
+	mirrorSpares := 2 * 40 // two dies × (176-136) manufacturing spares
+
+	downSince := -1.0
+	isDown := func() bool {
+		return psuDown >= 2 || fanDown >= 2 || controlDown || maintenance
+	}
+	reassess := func() {
+		now := float64(q.Now())
+		if isDown() {
+			if downSince < 0 {
+				downSince = now
+			}
+		} else if downSince >= 0 {
+			rep.DowntimeHours += now - downSince
+			downSince = -1
+		}
+	}
+
+	// Failure processes: one recurring generator per component class.
+	type proc struct {
+		rate float64 // failures/hour across the population
+		fire func()
+	}
+	var procs []proc
+	repair := func(fix func()) {
+		q.After(rng.ExpFloat64()*p.RepairHours, func() {
+			fix()
+			rep.FRUReplaced++
+			reassess()
+		})
+	}
+	procs = append(procs,
+		proc{2 / p.PSUMTBFHours, func() {
+			if psuDown < 2 {
+				psuDown++
+				repair(func() { psuDown-- })
+			}
+			reassess()
+		}},
+		proc{4 / p.FanMTBFHours, func() {
+			if fanDown < 4 {
+				fanDown++
+				repair(func() { fanDown-- })
+			}
+			reassess()
+		}},
+		proc{8 / p.DriverMTBFHours, func() {
+			rep.DriverFailures++
+			if boardDown < 8 {
+				boardDown++
+				repair(func() { boardDown-- })
+			}
+			reassess()
+		}},
+		proc{1 / p.ControlMTBFHours, func() {
+			if !controlDown {
+				controlDown = true
+				repair(func() { controlDown = false })
+			}
+			reassess()
+		}},
+		proc{272 / p.MirrorMTBFHours, func() { // 2 dies × 136 in-service mirrors
+			rep.MirrorFailures++
+			if mirrorSpares > 0 {
+				mirrorSpares--
+			} else {
+				rep.PortsLost++
+			}
+		}},
+	)
+	if p.MaintenancePerYear > 0 {
+		procs = append(procs, proc{p.MaintenancePerYear / 8766, func() {
+			if !maintenance {
+				maintenance = true
+				q.After(p.MaintenanceHours, func() {
+					maintenance = false
+					reassess()
+				})
+			}
+			reassess()
+		}})
+	}
+
+	var arm func(i int)
+	arm = func(i int) {
+		pr := procs[i]
+		if pr.rate <= 0 {
+			return
+		}
+		q.After(rng.ExpFloat64()/pr.rate, func() {
+			if float64(q.Now()) > horizon {
+				return
+			}
+			pr.fire()
+			arm(i)
+		})
+	}
+	for i := range procs {
+		arm(i)
+	}
+
+	q.RunUntil(sim.Time(horizon))
+	if downSince >= 0 {
+		rep.DowntimeHours += horizon - downSince
+	}
+	rep.Availability = 1 - rep.DowntimeHours/horizon
+	return rep, nil
+}
+
+// FleetAvailability runs n independent chassis lifetimes and returns the
+// mean availability — the field statistic of §4.1.1.
+func FleetAvailability(p ReliabilityParams, years float64, n int, rng *sim.Rand) (float64, error) {
+	if n <= 0 {
+		return 0, ErrBadLifetime
+	}
+	if rng == nil {
+		rng = sim.NewRand(0xF1EE7)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		rep, err := SimulateLifetime(p, years, rng.Split())
+		if err != nil {
+			return 0, err
+		}
+		sum += rep.Availability
+	}
+	return sum / float64(n), nil
+}

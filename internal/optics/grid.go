@@ -1,0 +1,84 @@
+// Package optics models the photonic layer of the lightwave fabric (§3.1,
+// §3.3, Appendices B and C.1): coarse-WDM wavelength grids, the transceiver
+// generations of Fig 8, optical circulators, and the optical link-budget
+// engine that the control plane uses to validate circuits before bringing
+// them up. All powers are in dBm and all losses/ratios in dB unless noted.
+package optics
+
+import "fmt"
+
+// Grid is a coarse wavelength-division-multiplexing grid: a set of channel
+// center wavelengths within the O-band around 1300 nm.
+type Grid struct {
+	Name      string
+	SpacingNM float64
+	Channels  []float64 // center wavelengths, nm
+}
+
+// CWDM4 returns the standard 4-channel, 20 nm spacing grid used by the DCN
+// transceivers (1271/1291/1311/1331 nm).
+func CWDM4() Grid {
+	return Grid{
+		Name:      "CWDM4",
+		SpacingNM: 20,
+		Channels:  []float64{1271, 1291, 1311, 1331},
+	}
+}
+
+// CWDM8 returns the paper's custom 8-channel, 10 nm spacing grid: twice the
+// lanes of CWDM4 in the same 80 nm spectral width (§3.3.1).
+func CWDM8() Grid {
+	return Grid{
+		Name:      "CWDM8",
+		SpacingNM: 10,
+		Channels:  []float64{1271, 1281, 1291, 1301, 1311, 1321, 1331, 1341},
+	}
+}
+
+// SpectralWidthNM returns the span from the lowest to the highest channel
+// center plus one spacing (the occupied spectral width).
+func (g Grid) SpectralWidthNM() float64 {
+	if len(g.Channels) == 0 {
+		return 0
+	}
+	return g.Channels[len(g.Channels)-1] - g.Channels[0] + g.SpacingNM
+}
+
+// Lanes returns the number of wavelength channels.
+func (g Grid) Lanes() int { return len(g.Channels) }
+
+// Validate checks channel ordering and spacing consistency.
+func (g Grid) Validate() error {
+	for i := 1; i < len(g.Channels); i++ {
+		if g.Channels[i] <= g.Channels[i-1] {
+			return fmt.Errorf("optics: grid %s channels not ascending", g.Name)
+		}
+		if d := g.Channels[i] - g.Channels[i-1]; d != g.SpacingNM {
+			return fmt.Errorf("optics: grid %s spacing %g != %g", g.Name, d, g.SpacingNM)
+		}
+	}
+	return nil
+}
+
+// Overlaps reports whether two grids share any channel center (interop
+// across generations requires a shared grid subset; §3.3.1 "backward
+// compatibility ... careful design of the wavelength grid").
+func (g Grid) Overlaps(o Grid) bool {
+	for _, a := range g.Channels {
+		for _, b := range o.Channels {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DispersionPsPerNMKM returns the chromatic dispersion coefficient of
+// standard single-mode fiber at wavelength λ (nm) using the usual G.652
+// Sellmeier slope approximation around the 1310 nm zero-dispersion point.
+func DispersionPsPerNMKM(lambdaNM float64) float64 {
+	const s0 = 0.092 // ps/(nm²·km) dispersion slope
+	const l0 = 1310.0
+	return s0 / 4 * (lambdaNM - l0*l0*l0/(lambdaNM*lambdaNM))
+}

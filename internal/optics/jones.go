@@ -1,0 +1,171 @@
+package optics
+
+import "math"
+
+// This file implements the polarization optics of Appendix B with Jones
+// calculus: polarizing beam splitters, the non-reciprocal Faraday rotator,
+// and the half-wave plate that together form the integrated optical
+// circulator. The circulator model in transceiver.go captures the
+// engineering parameters (loss, return loss, crosstalk); this file verifies
+// the *physics* — that the element stack actually routes port 1 → 2 and
+// port 2 → 3 for arbitrary input polarization, which is what lets one fiber
+// strand carry both directions.
+
+// Jones is a polarization state: complex amplitudes of the s and p field
+// components.
+type Jones struct {
+	S, P complex128
+}
+
+// Power returns the total optical power |s|² + |p|².
+func (j Jones) Power() float64 {
+	return real(j.S)*real(j.S) + imag(j.S)*imag(j.S) +
+		real(j.P)*real(j.P) + imag(j.P)*imag(j.P)
+}
+
+// JonesMatrix is a 2×2 polarization transfer matrix.
+type JonesMatrix struct {
+	SS, SP, PS, PP complex128
+}
+
+// Apply transforms a polarization state.
+func (m JonesMatrix) Apply(j Jones) Jones {
+	return Jones{
+		S: m.SS*j.S + m.SP*j.P,
+		P: m.PS*j.S + m.PP*j.P,
+	}
+}
+
+// Mul composes two matrices (m then n ⇒ n·m).
+func (m JonesMatrix) Mul(n JonesMatrix) JonesMatrix {
+	return JonesMatrix{
+		SS: n.SS*m.SS + n.SP*m.PS,
+		SP: n.SS*m.SP + n.SP*m.PP,
+		PS: n.PS*m.SS + n.PP*m.PS,
+		PP: n.PS*m.SP + n.PP*m.PP,
+	}
+}
+
+// Rotator returns the Jones matrix of a polarization rotation by theta
+// radians.
+func Rotator(theta float64) JonesMatrix {
+	c := complex(math.Cos(theta), 0)
+	s := complex(math.Sin(theta), 0)
+	return JonesMatrix{SS: c, SP: -s, PS: s, PP: c}
+}
+
+// FaradayRotator models the magneto-optic rotator: the rotation angle has
+// the same handedness in the lab frame regardless of propagation direction,
+// which is what makes the device non-reciprocal (Appendix B: "the sign of
+// the rotation depending on the direction of light propagation").
+type FaradayRotator struct {
+	// Theta is the rotation for forward propagation, radians.
+	Theta float64
+}
+
+// Forward returns the Jones matrix for forward propagation.
+func (f FaradayRotator) Forward() JonesMatrix { return Rotator(f.Theta) }
+
+// Backward returns the Jones matrix seen by a backward-propagating wave:
+// in the wave's own frame the rotation sense is reversed... but for a
+// Faraday rotator it is NOT — the lab-frame rotation keeps its sign, so in
+// the backward wave's frame the matrix is the same rotation again (a
+// reciprocal element would invert it).
+func (f FaradayRotator) Backward() JonesMatrix { return Rotator(f.Theta) }
+
+// HalfWavePlate models the reciprocal birefringent wave plate with its fast
+// axis at angle axis/2, rotating polarization by `axis` for forward
+// propagation and −`axis` for backward propagation (in the backward wave's
+// frame).
+type HalfWavePlate struct {
+	// Theta is the polarization rotation for forward propagation, radians.
+	Theta float64
+}
+
+// Forward returns the forward Jones matrix.
+func (h HalfWavePlate) Forward() JonesMatrix { return Rotator(h.Theta) }
+
+// Backward returns the matrix for backward propagation: reciprocal, so the
+// rotation reverses in the propagating frame.
+func (h HalfWavePlate) Backward() JonesMatrix { return Rotator(-h.Theta) }
+
+// CirculatorCore is the FR+HWP stack of Fig B.1b: a 45° Faraday rotator
+// followed by a 45° half-wave plate.
+type CirculatorCore struct {
+	FR  FaradayRotator
+	HWP HalfWavePlate
+}
+
+// NewCirculatorCore returns the Appendix B design: −45° Faraday rotation
+// cancelled by +45° wave-plate rotation in the forward direction.
+func NewCirculatorCore() CirculatorCore {
+	return CirculatorCore{
+		FR:  FaradayRotator{Theta: -math.Pi / 4},
+		HWP: HalfWavePlate{Theta: math.Pi / 4},
+	}
+}
+
+// Forward is the port-1→2 pass: FR then HWP. For the Appendix B design the
+// two rotations cancel, so the transmit polarization is unchanged.
+func (c CirculatorCore) Forward() JonesMatrix {
+	return c.FR.Forward().Mul(c.HWP.Forward())
+}
+
+// Backward is the port-2→3 pass: HWP then FR, with the reciprocal plate
+// reversing its rotation and the non-reciprocal rotator keeping its sign.
+// The net effect is a 90° rotation: s-polarized light exits p-polarized and
+// vice versa, so the return beam takes the polarizing-beam-splitter exit
+// toward the receiver instead of back into the laser.
+func (c CirculatorCore) Backward() JonesMatrix {
+	return c.HWP.Backward().Mul(c.FR.Backward())
+}
+
+// RouteForward reports how the forward (port-1) launch power splits at the
+// output polarizing beam splitter: the fraction that kept its launch
+// polarization continues to port 2 (the fiber); rotated power is dumped.
+// The input PBS guarantees the launch is polarized, so only the P
+// component of `in` is considered (the Tx laser convention of Fig B.1).
+func (c CirculatorCore) RouteForward(in Jones) (toPort2, leaked float64) {
+	launch := Jones{P: in.P} // input PBS passes p-polarization to the core
+	out := c.Forward().Apply(launch)
+	kept := cmplxPow(out.P)
+	return kept, out.Power() - kept
+}
+
+// RouteBackward reports how the backward (port-2 input) power splits: the
+// input PBS separates the unpolarized fiber return into its s and p
+// components, each traverses the core, and each component that *flipped*
+// polarization is routed by the output PBS pair toward port 3 (the
+// receiver) while unflipped power leaks back toward port 1 (the laser).
+// For the ideal core the backward pass rotates every state by 90°, so all
+// power reaches port 3 — this is the non-reciprocity that makes single-
+// strand bidirectional links possible.
+func (c CirculatorCore) RouteBackward(in Jones) (toPort3, backToPort1 float64) {
+	m := c.Backward()
+	// s-polarized component of the return light.
+	outS := m.Apply(Jones{S: in.S})
+	toPort3 += cmplxPow(outS.P)     // flipped s→p: routed to the receiver
+	backToPort1 += cmplxPow(outS.S) // unflipped: leaks toward the laser
+	// p-polarized component.
+	outP := m.Apply(Jones{P: in.P})
+	toPort3 += cmplxPow(outP.S)
+	backToPort1 += cmplxPow(outP.P)
+	return toPort3, backToPort1
+}
+
+func cmplxPow(c complex128) float64 {
+	return real(c)*real(c) + imag(c)*imag(c)
+}
+
+// CirculatorIsolationDB returns the worst-case port-2→1 isolation of a core
+// whose Faraday rotation errs by errRad from the ideal ±45° (manufacturing
+// or temperature drift). Perfect rotation gives infinite isolation; the
+// backward pass then rotates by 90°±err, leaking sin²(err) of the power
+// back into the transmitter.
+func CirculatorIsolationDB(errRad float64) float64 {
+	leak := math.Sin(errRad) * math.Sin(errRad)
+	if leak <= 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(leak)
+}

@@ -1,0 +1,161 @@
+package optics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lightwave/internal/sim"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJonesPower(t *testing.T) {
+	j := Jones{S: complex(3, 4), P: complex(0, 0)}
+	if !almostEq(j.Power(), 25) {
+		t.Fatalf("power = %v", j.Power())
+	}
+}
+
+func TestRotatorPreservesPower(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		j := Jones{
+			S: complex(r.NormFloat64(), r.NormFloat64()),
+			P: complex(r.NormFloat64(), r.NormFloat64()),
+		}
+		theta := r.Float64() * 2 * math.Pi
+		out := Rotator(theta).Apply(j)
+		return math.Abs(out.Power()-j.Power()) < 1e-9
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotatorComposition(t *testing.T) {
+	// R(a)·R(b) = R(a+b).
+	a, b := 0.3, 1.1
+	composed := Rotator(a).Mul(Rotator(b))
+	direct := Rotator(a + b)
+	j := Jones{S: 1, P: complex(0.5, 0.2)}
+	x, y := composed.Apply(j), direct.Apply(j)
+	if !almostEq(real(x.S), real(y.S)) || !almostEq(real(x.P), real(y.P)) {
+		t.Fatal("rotation composition broken")
+	}
+}
+
+func TestFaradayNonReciprocity(t *testing.T) {
+	// The defining property: a round trip through a Faraday rotator
+	// accumulates rotation (2×45° = 90°), while a round trip through the
+	// reciprocal wave plate cancels.
+	fr := FaradayRotator{Theta: math.Pi / 4}
+	hwp := HalfWavePlate{Theta: math.Pi / 4}
+	in := Jones{S: 1}
+
+	frRound := fr.Forward().Mul(fr.Backward()).Apply(in)
+	// 90° rotation: s → p.
+	if !almostEq(cmplxPow(frRound.P), 1) || !almostEq(cmplxPow(frRound.S), 0) {
+		t.Fatalf("FR round trip = %+v, want full s→p", frRound)
+	}
+
+	hwpRound := hwp.Forward().Mul(hwp.Backward()).Apply(in)
+	if !almostEq(cmplxPow(hwpRound.S), 1) || !almostEq(cmplxPow(hwpRound.P), 0) {
+		t.Fatalf("HWP round trip = %+v, want identity", hwpRound)
+	}
+}
+
+func TestCirculatorForwardPolarizationPreserved(t *testing.T) {
+	// Appendix B: "These two polarization rotations cancel so that the
+	// state of polarization remains the same" from port 1 to port 2.
+	core := NewCirculatorCore()
+	toPort2, leaked := core.RouteForward(Jones{P: 1})
+	if !almostEq(toPort2, 1) {
+		t.Fatalf("port 1→2 transmission = %v", toPort2)
+	}
+	if !almostEq(leaked, 0) {
+		t.Fatalf("forward leakage = %v", leaked)
+	}
+}
+
+func TestCirculatorBackwardRoutesToPort3(t *testing.T) {
+	// Appendix B: the unpolarized return light has every component rotated
+	// by 90°, so the PBS pair recombines it all at port 3. Test arbitrary
+	// elliptical input states.
+	core := NewCirculatorCore()
+	err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		in := Jones{
+			S: complex(r.NormFloat64(), r.NormFloat64()),
+			P: complex(r.NormFloat64(), r.NormFloat64()),
+		}
+		toPort3, back := core.RouteBackward(in)
+		return math.Abs(toPort3-in.Power()) < 1e-9 && math.Abs(back) < 1e-9
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCirculatorPowerConservation(t *testing.T) {
+	core := NewCirculatorCore()
+	err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		in := Jones{
+			S: complex(r.NormFloat64(), r.NormFloat64()),
+			P: complex(r.NormFloat64(), r.NormFloat64()),
+		}
+		p3, p1 := core.RouteBackward(in)
+		return math.Abs((p3+p1)-in.Power()) < 1e-9
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImperfectRotatorLeaksBackToLaser(t *testing.T) {
+	// A Faraday rotation error leaks return light back into the
+	// transmitter — the crosstalk/return-loss engineering problem of
+	// §3.3.1.
+	core := CirculatorCore{
+		FR:  FaradayRotator{Theta: -math.Pi/4 + 0.05},
+		HWP: HalfWavePlate{Theta: math.Pi / 4},
+	}
+	_, back := core.RouteBackward(Jones{S: 1, P: 0})
+	if back <= 0 {
+		t.Fatal("imperfect rotator should leak")
+	}
+	if back > 0.05 {
+		t.Fatalf("leak %v implausibly large for 0.05 rad error", back)
+	}
+}
+
+func TestCirculatorIsolationDB(t *testing.T) {
+	if !math.IsInf(CirculatorIsolationDB(0), 1) {
+		t.Fatal("perfect rotator should have infinite isolation")
+	}
+	// sin²(0.01) ≈ 1e-4 → ≈40 dB.
+	iso := CirculatorIsolationDB(0.01)
+	if iso < 39 || iso > 41 {
+		t.Fatalf("isolation at 0.01 rad = %v dB", iso)
+	}
+	// Isolation degrades with rotation error.
+	if CirculatorIsolationDB(0.05) >= CirculatorIsolationDB(0.01) {
+		t.Fatal("isolation not monotone in error")
+	}
+}
+
+func TestIsolationConsistentWithRouting(t *testing.T) {
+	// The closed-form isolation must match the Jones-propagated leakage.
+	for _, errRad := range []float64{0.005, 0.02, 0.08} {
+		core := CirculatorCore{
+			FR:  FaradayRotator{Theta: -math.Pi/4 + errRad},
+			HWP: HalfWavePlate{Theta: math.Pi / 4},
+		}
+		_, back := core.RouteBackward(Jones{S: 1})
+		want := math.Pow(10, -CirculatorIsolationDB(errRad)/10)
+		if math.Abs(back-want)/want > 1e-6 {
+			t.Fatalf("err %v: leak %v vs closed form %v", errRad, back, want)
+		}
+	}
+}

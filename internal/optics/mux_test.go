@@ -1,0 +1,175 @@
+package optics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMuxCWDM8LossierThanCWDM4(t *testing.T) {
+	m4, m8 := NewMux(CWDM4()), NewMux(CWDM8())
+	l4, _ := m4.ChannelLossDB(0)
+	l8, _ := m8.ChannelLossDB(0)
+	if l8 <= l4 {
+		t.Fatal("tighter 10 nm filters should cost more loss")
+	}
+	if m8.AdjacentIsolationDB >= m4.AdjacentIsolationDB {
+		t.Fatal("tighter spacing should have worse isolation")
+	}
+}
+
+func TestMuxChannelLossProfile(t *testing.T) {
+	m := NewMux(CWDM8())
+	center, _ := m.ChannelLossDB(3)
+	edge, _ := m.ChannelLossDB(0)
+	if edge <= center {
+		t.Fatal("band-edge channel should be lossier")
+	}
+	if _, err := m.ChannelLossDB(8); err == nil {
+		t.Fatal("out-of-grid channel accepted")
+	}
+	// Symmetric profile.
+	lo, _ := m.ChannelLossDB(0)
+	hi, _ := m.ChannelLossDB(7)
+	if math.Abs(lo-hi) > 1e-12 {
+		t.Fatal("loss profile not symmetric")
+	}
+}
+
+func TestMuxCrosstalkFallsWithSeparation(t *testing.T) {
+	m := NewMux(CWDM4())
+	adj, _ := m.CrosstalkDB(0, 1)
+	far, _ := m.CrosstalkDB(0, 3)
+	if far >= adj {
+		t.Fatal("crosstalk should fall with channel separation")
+	}
+	if adj != -30 {
+		t.Fatalf("adjacent crosstalk = %v", adj)
+	}
+	same, _ := m.CrosstalkDB(2, 2)
+	if same != 0 {
+		t.Fatal("self crosstalk should be 0 dB (it is the signal)")
+	}
+	if _, err := m.CrosstalkDB(0, 9); err == nil {
+		t.Fatal("out-of-grid accepted")
+	}
+}
+
+func TestWDMBudgetPerLane(t *testing.T) {
+	gen, _ := GenerationByName("800G-bidi-CWDM8")
+	a, b := NewTransceiver(gen), NewTransceiver(gen)
+	l := NewBidiLink(a, b, DefaultCirculator(), 1.8, -46, 2.0)
+	lanes, err := WDMBudget(l, a, NewMux(gen.Grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lanes) != 8 {
+		t.Fatalf("%d lanes", len(lanes))
+	}
+	// The 1311 nm lane (index 4) sits near the zero-dispersion point; the
+	// 1271 nm lane (index 0) is the dispersion band edge.
+	if lanes[0].DispersionPenaltyDB <= lanes[4].DispersionPenaltyDB {
+		t.Fatal("band-edge lane should have higher dispersion penalty")
+	}
+	// Every lane pays the mux+demux loss on top of the base path.
+	base, _ := l.BudgetTowardB()
+	for _, lane := range lanes {
+		if lane.PathLossDB <= base.PathLossDB {
+			t.Fatalf("lane %d loss %v not above base %v", lane.Lane, lane.PathLossDB, base.PathLossDB)
+		}
+	}
+}
+
+func TestWorstLaneIsBandEdge(t *testing.T) {
+	gen, _ := GenerationByName("800G-bidi-CWDM8")
+	a, b := NewTransceiver(gen), NewTransceiver(gen)
+	l := NewBidiLink(a, b, DefaultCirculator(), 1.8, -46, 2.0)
+	lanes, err := WDMBudget(l, a, NewMux(gen.Grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := WorstLane(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Lane != 0 && worst.Lane != 7 {
+		t.Fatalf("worst lane = %d, want a band edge", worst.Lane)
+	}
+	if _, err := WorstLane(nil); err == nil {
+		t.Fatal("empty lanes accepted")
+	}
+}
+
+func TestSharedChannelsInterop(t *testing.T) {
+	// CWDM8 carries every CWDM4 wavelength: a CWDM8 module can interop at
+	// 4 lanes.
+	shared := SharedChannels(CWDM8(), CWDM4())
+	if len(shared) != 4 {
+		t.Fatalf("shared channels = %v", shared)
+	}
+	// And symmetric case.
+	if len(SharedChannels(CWDM4(), CWDM8())) != 4 {
+		t.Fatal("reverse interop broken")
+	}
+	if len(SharedChannels(CWDM4(), Grid{Channels: []float64{1550}})) != 0 {
+		t.Fatal("disjoint grids should share nothing")
+	}
+}
+
+func TestLaneMPIIncludesCrosstalk(t *testing.T) {
+	m := NewMux(CWDM8())
+	linkMPI := -40.0
+	mid, err := m.LaneMPIDB(4, linkMPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adding crosstalk must worsen (raise) the effective MPI.
+	if mid <= linkMPI {
+		t.Fatalf("lane MPI %v not above link MPI %v", mid, linkMPI)
+	}
+	// A band-edge lane has one close neighbor; a middle lane has two.
+	edge, _ := m.LaneMPIDB(0, linkMPI)
+	if edge >= mid {
+		t.Fatalf("edge lane MPI %v not better than middle %v", edge, mid)
+	}
+	if _, err := m.LaneMPIDB(99, linkMPI); err == nil {
+		t.Fatal("out-of-grid lane accepted")
+	}
+}
+
+func TestLaneMPICWDM8WorseThanCWDM4(t *testing.T) {
+	// 10 nm spacing has worse isolation, so the same link MPI yields a
+	// worse effective lane MPI.
+	m4, _ := NewMux(CWDM4()).LaneMPIDB(1, -40)
+	m8, _ := NewMux(CWDM8()).LaneMPIDB(4, -40)
+	if m8 <= m4 {
+		t.Fatalf("CWDM8 lane MPI %v not worse than CWDM4 %v", m8, m4)
+	}
+}
+
+func TestLaneMPINoInputs(t *testing.T) {
+	// Even with no link MPI the demux crosstalk floor remains.
+	m := NewMux(CWDM4())
+	got, err := m.LaneMPIDB(0, NoReflection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= NoReflection || got > -25 {
+		t.Fatalf("crosstalk-only MPI = %v", got)
+	}
+}
+
+func TestWDMBudgetCarriesLaneMPI(t *testing.T) {
+	gen, _ := GenerationByName("800G-bidi-CWDM8")
+	a, b := NewTransceiver(gen), NewTransceiver(gen)
+	l := NewBidiLink(a, b, DefaultCirculator(), 1.8, -46, 1.0)
+	base, _ := l.BudgetTowardB()
+	lanes, err := WDMBudget(l, a, NewMux(gen.Grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lane := range lanes {
+		if lane.MPIDB <= base.MPIDB {
+			t.Fatalf("lane %d MPI %v not above link MPI %v", lane.Lane, lane.MPIDB, base.MPIDB)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package optics
+
+import "testing"
+
+func TestQualifyRoadmapAllPass(t *testing.T) {
+	// Every production generation must qualify at every supported rate on
+	// the reference deployment link — the §3.3.1 interop guarantee.
+	reports, err := QualifyRoadmap(DefaultQualSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(Roadmap()) {
+		t.Fatalf("%d reports", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			for _, m := range r.Modes {
+				t.Logf("%s @ %gG %s: margin %.2f dB pass=%v",
+					r.Generation, m.Mode.LaneRateGbps, m.Mode.Modulation, m.Budget.MarginDB, m.Pass)
+			}
+			t.Errorf("%s failed qualification", r.Generation)
+		}
+	}
+}
+
+func TestQualifyLegacyModesEasier(t *testing.T) {
+	// Within one module, lower line rates must have at least the margin of
+	// the native rate (relaxed sensitivity + smaller dispersion penalty).
+	gen, _ := GenerationByName("2x400G-bidi-CWDM4")
+	rep, err := Qualify(gen, DefaultQualSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var native, legacy float64
+	for _, m := range rep.Modes {
+		if m.Mode.LaneRateGbps == gen.LaneRateGbps {
+			native = m.Budget.MarginDB
+		}
+		if m.Mode.LaneRateGbps == 25 {
+			legacy = m.Budget.MarginDB
+		}
+	}
+	if legacy <= native {
+		t.Fatalf("legacy 25G margin %.2f not above native %.2f", legacy, native)
+	}
+}
+
+func TestQualifyFailsOnImpossibleSpec(t *testing.T) {
+	gen, _ := GenerationByName("2x200G-bidi-CWDM4")
+	spec := DefaultQualSpec()
+	spec.FiberKM = 200 // absurd reach
+	rep, err := Qualify(gen, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("module qualified over 200 km")
+	}
+}
+
+func TestQualifyModeCount(t *testing.T) {
+	gen, _ := GenerationByName("2x400G-bidi-CWDM4")
+	rep, err := Qualify(gen, DefaultQualSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Modes) != 3 {
+		t.Fatalf("%d modes qualified, want 3 (100G/50G/25G)", len(rep.Modes))
+	}
+}

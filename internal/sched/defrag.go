@@ -1,0 +1,152 @@
+package sched
+
+import "sort"
+
+// Defragmentation (§4.2.4: "the scheduler is able to defragment the pods
+// more effectively"). A contiguous-placement pod fragments as jobs come
+// and go; compaction migrates running jobs into a corner of the pod so a
+// blocked large job can fit. Migration is expensive (checkpoint, move,
+// restore), so the simulator counts migrated cubes. The reconfigurable
+// fabric never needs this: any set of free cubes is as good as any other.
+
+// FragmentationScore measures how scattered the free cubes are for the
+// contiguous policy: 1 − (largest free axis-aligned box) / (free cubes).
+// Zero means all free capacity is usable by one box-shaped job; values
+// near one mean the free space is confetti.
+func (p *Pod) FragmentationScore() float64 {
+	free := p.FreeCubes()
+	if free == 0 {
+		return 0
+	}
+	best := p.largestFreeBox()
+	return 1 - float64(best)/float64(free)
+}
+
+// largestFreeBox returns the volume of the largest all-free axis-aligned
+// box.
+func (p *Pod) largestFreeBox() int {
+	best := 0
+	for x := 0; x < p.Grid[0]; x++ {
+		for y := 0; y < p.Grid[1]; y++ {
+			for z := 0; z < p.Grid[2]; z++ {
+				for dx := 1; x+dx <= p.Grid[0]; dx++ {
+					for dy := 1; y+dy <= p.Grid[1]; dy++ {
+						for dz := 1; z+dz <= p.Grid[2]; dz++ {
+							vol := dx * dy * dz
+							if vol <= best {
+								continue
+							}
+							if p.boxCubes(x, y, z, [3]int{dx, dy, dz}) != nil {
+								best = vol
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// DefragResult reports a compaction pass.
+type DefragResult struct {
+	// MigratedCubes is the number of cube-slots whose job moved.
+	MigratedCubes int
+	// Jobs is the number of jobs relocated.
+	Jobs int
+}
+
+// Defragment repacks every running job into boxes allocated greedily from
+// the origin, largest job first — the classic compaction that a static
+// fabric needs and a reconfigurable one does not. It returns the migration
+// cost. Failed cubes stay where they are.
+func (p *Pod) Defragment() DefragResult {
+	// Snapshot jobs and their sizes.
+	sizes := map[int]int{}
+	for c := range p.state {
+		if p.state[c] == Busy {
+			sizes[p.owner[c]]++
+		}
+	}
+	jobs := make([]int, 0, len(sizes))
+	for j := range sizes {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool {
+		if sizes[jobs[i]] != sizes[jobs[k]] {
+			return sizes[jobs[i]] > sizes[jobs[k]]
+		}
+		return jobs[i] < jobs[k]
+	})
+
+	before := map[int]map[int]bool{}
+	for c := range p.state {
+		if p.state[c] == Busy {
+			j := p.owner[c]
+			if before[j] == nil {
+				before[j] = map[int]bool{}
+			}
+			before[j][c] = true
+		}
+	}
+
+	// Clear all busy cubes and replace jobs with the contiguous policy.
+	for c := range p.state {
+		if p.state[c] == Busy {
+			p.state[c] = Free
+			p.owner[c] = -1
+		}
+	}
+	var res DefragResult
+	placer := Contiguous{}
+	for _, j := range jobs {
+		ids, err := placer.Place(p, j, sizes[j])
+		if err != nil {
+			// Cannot box this job (failed cubes in the way); fall back to
+			// its original cubes.
+			for c := range before[j] {
+				p.state[c] = Busy
+				p.owner[c] = j
+			}
+			continue
+		}
+		moved := 0
+		for _, c := range ids {
+			if !before[j][c] {
+				moved++
+			}
+		}
+		if moved > 0 {
+			res.Jobs++
+			res.MigratedCubes += moved
+		}
+	}
+	return res
+}
+
+// ContiguousWithDefrag is the contiguous policy plus compaction: when a
+// job does not fit, the pod is defragmented once and placement retried.
+// Migration cost is accumulated in Migrations.
+type ContiguousWithDefrag struct {
+	Migrations *int
+}
+
+// Name implements Placer.
+func (ContiguousWithDefrag) Name() string { return "contiguous+defrag" }
+
+// Place implements Placer.
+func (d ContiguousWithDefrag) Place(p *Pod, job, cubes int) ([]int, error) {
+	c := Contiguous{}
+	ids, err := c.Place(p, job, cubes)
+	if err == nil {
+		return ids, nil
+	}
+	if cubes > p.FreeCubes() {
+		return nil, err // no amount of compaction helps
+	}
+	res := p.Defragment()
+	if d.Migrations != nil {
+		*d.Migrations += res.MigratedCubes
+	}
+	return c.Place(p, job, cubes)
+}

@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"errors"
+
+	"lightwave/internal/sim"
+)
+
+// JobMix describes the offered workload: a distribution over slice sizes
+// (in cubes) with mean job duration.
+type JobMix struct {
+	// Sizes and Weights define the slice-size distribution.
+	Sizes   []int
+	Weights []float64
+	// MeanDuration is the mean (exponential) job runtime in seconds.
+	MeanDuration float64
+	// ArrivalRate is jobs per second (Poisson).
+	ArrivalRate float64
+}
+
+// ProductionMix returns a TPU-fleet-like mix: many small slices, a steady
+// stream of mid-size slices, occasional very large ones (§4.2.2: "In
+// practice, a distribution of slice sizes running different size models is
+// used").
+func ProductionMix() JobMix {
+	return JobMix{
+		Sizes:        []int{1, 2, 4, 8, 16, 32},
+		Weights:      []float64{0.30, 0.25, 0.20, 0.15, 0.07, 0.03},
+		MeanDuration: 1000,
+		ArrivalRate:  0.03,
+	}
+}
+
+// ReferenceConfig returns the calibrated §4.2.4 experiment configuration:
+// a saturating job stream with aggressive backfill, long enough to wash out
+// warmup.
+func ReferenceConfig() SimConfig {
+	return SimConfig{Duration: 300000, Seed: 5, BackfillWindow: 64}
+}
+
+// Stats summarizes one scheduling simulation.
+type Stats struct {
+	// Utilization is allocated cube-time over total cube-time.
+	Utilization float64
+	Completed   int
+	// MeanWait is the mean queueing delay of started jobs.
+	MeanWait float64
+	// Preempted counts jobs killed by cube failures (static fabric only;
+	// the reconfigurable fabric swaps a spare cube in instead).
+	Preempted int
+	// Swaps counts cube swaps performed after failures.
+	Swaps int
+}
+
+// SimConfig controls the simulation.
+type SimConfig struct {
+	Duration float64
+	Seed     uint64
+	// CubeMTBF is the mean time between failures of one cube (0 disables
+	// failures); repairs take MeanRepair seconds.
+	CubeMTBF   float64
+	MeanRepair float64
+	// BackfillWindow is how many queued jobs may jump a blocked head job
+	// (0 = default 6).
+	BackfillWindow int
+}
+
+type pendingJob struct {
+	id      int
+	cubes   int
+	dur     float64
+	arrived float64
+}
+
+// Simulate runs the job stream against a pod under the given placement
+// policy and returns utilization statistics.
+func Simulate(pod *Pod, placer Placer, mix JobMix, cfg SimConfig) (Stats, error) {
+	if cfg.Duration <= 0 || mix.ArrivalRate <= 0 || mix.MeanDuration <= 0 {
+		return Stats{}, errors.New("sched: non-positive simulation parameters")
+	}
+	if len(mix.Sizes) == 0 || len(mix.Sizes) != len(mix.Weights) {
+		return Stats{}, errors.New("sched: invalid job mix")
+	}
+	rng := sim.NewRand(cfg.Seed)
+	var q sim.Queue
+	var st Stats
+
+	totalWeight := 0.0
+	for _, w := range mix.Weights {
+		totalWeight += w
+	}
+
+	var queue []*pendingJob
+	nextID := 0
+	busyIntegral := 0.0
+	lastT := 0.0
+	var waits []float64
+
+	account := func() {
+		now := float64(q.Now())
+		busyIntegral += float64(pod.BusyCubes()) * (now - lastT)
+		lastT = now
+	}
+
+	backfill := cfg.BackfillWindow
+	if backfill <= 0 {
+		backfill = 6
+	}
+	var tryPlace func()
+	tryPlace = func() {
+		// FIFO with a bounded backfill window: the head job starts first
+		// when it fits; otherwise up to BackfillWindow younger jobs may
+		// jump ahead. Placement flexibility is where the fabrics differ:
+		// the reconfigurable fabric only blocks when too few cubes are
+		// free, while the contiguous policy also blocks on fragmentation.
+		for {
+			placedAny := false
+			limit := backfill
+			if limit > len(queue) {
+				limit = len(queue)
+			}
+			for i := 0; i < limit; i++ {
+				j := queue[i]
+				if _, err := placer.Place(pod, j.id, j.cubes); err != nil {
+					continue
+				}
+				queue = append(queue[:i], queue[i+1:]...)
+				waits = append(waits, float64(q.Now())-j.arrived)
+				job := j
+				q.After(job.dur, func() {
+					account()
+					pod.Release(job.id)
+					st.Completed++
+					tryPlace()
+				})
+				placedAny = true
+				break
+			}
+			if !placedAny {
+				return
+			}
+		}
+	}
+
+	sampleSize := func() int {
+		x := rng.Float64() * totalWeight
+		for i, w := range mix.Weights {
+			if x < w {
+				return mix.Sizes[i]
+			}
+			x -= w
+		}
+		return mix.Sizes[len(mix.Sizes)-1]
+	}
+
+	var arrive func()
+	arrive = func() {
+		account()
+		j := &pendingJob{
+			id:      nextID,
+			cubes:   sampleSize(),
+			dur:     rng.ExpFloat64() * mix.MeanDuration,
+			arrived: float64(q.Now()),
+		}
+		nextID++
+		queue = append(queue, j)
+		tryPlace()
+		q.After(rng.ExpFloat64()/mix.ArrivalRate, arrive)
+	}
+	q.After(rng.ExpFloat64()/mix.ArrivalRate, arrive)
+
+	// Failure injection.
+	if cfg.CubeMTBF > 0 {
+		rate := float64(pod.Cubes()) / cfg.CubeMTBF
+		var fail func()
+		fail = func() {
+			account()
+			cube := rng.Intn(pod.Cubes())
+			if job, wasBusy, err := pod.Fail(cube); err == nil {
+				if wasBusy {
+					if _, isReconf := placer.(Reconfigurable); isReconf {
+						if _, err := pod.SwapCube(job); err == nil {
+							st.Swaps++
+						} else {
+							pod.Release(job)
+							st.Preempted++
+						}
+					} else {
+						// Static fabric: the job loses its slice.
+						pod.Release(job)
+						st.Preempted++
+					}
+				}
+				repairT := cfg.MeanRepair
+				if repairT <= 0 {
+					repairT = 3600
+				}
+				q.After(rng.ExpFloat64()*repairT, func() {
+					account()
+					_ = pod.Repair(cube)
+					tryPlace()
+				})
+			}
+			q.After(rng.ExpFloat64()/rate, fail)
+		}
+		q.After(rng.ExpFloat64()/rate, fail)
+	}
+
+	q.RunUntil(sim.Time(cfg.Duration))
+	account()
+
+	st.Utilization = busyIntegral / (float64(pod.Cubes()) * cfg.Duration)
+	if len(waits) > 0 {
+		st.MeanWait = sim.Mean(waits)
+	}
+	return st, nil
+}
+
+// CompareUtilization runs the same stream under both policies on fresh
+// pods and returns (reconfigurable, contiguous) stats — the §4.2.4
+// experiment.
+func CompareUtilization(mix JobMix, cfg SimConfig) (reconf, contig Stats, err error) {
+	reconf, err = Simulate(FullPod(), Reconfigurable{}, mix, cfg)
+	if err != nil {
+		return
+	}
+	contig, err = Simulate(FullPod(), Contiguous{}, mix, cfg)
+	return
+}

@@ -1,0 +1,105 @@
+package sched
+
+import "testing"
+
+// TestUtilizationAdvantage reproduces §4.2.4: the reconfigurable fabric
+// sustains >98% pod utilization under a saturating mixed-size job stream,
+// clearly above the contiguous-placement baseline.
+func TestUtilizationAdvantage(t *testing.T) {
+	reconf, contig, err := CompareUtilization(ProductionMix(), ReferenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reconf.Utilization < 0.98 {
+		t.Errorf("reconfigurable utilization = %.3f, want > 0.98", reconf.Utilization)
+	}
+	if contig.Utilization >= reconf.Utilization-0.02 {
+		t.Errorf("contiguous %.3f not clearly below reconfigurable %.3f",
+			contig.Utilization, reconf.Utilization)
+	}
+	if reconf.Completed <= contig.Completed {
+		t.Errorf("reconfigurable completed %d <= contiguous %d", reconf.Completed, contig.Completed)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	mix := ProductionMix()
+	if _, err := Simulate(FullPod(), Reconfigurable{}, mix, SimConfig{Duration: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	bad := mix
+	bad.Sizes = nil
+	if _, err := Simulate(FullPod(), Reconfigurable{}, bad, SimConfig{Duration: 10}); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	bad2 := mix
+	bad2.ArrivalRate = 0
+	if _, err := Simulate(FullPod(), Reconfigurable{}, bad2, SimConfig{Duration: 10}); err == nil {
+		t.Fatal("zero arrival rate accepted")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := SimConfig{Duration: 50000, Seed: 3}
+	a, err := Simulate(FullPod(), Reconfigurable{}, ProductionMix(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Simulate(FullPod(), Reconfigurable{}, ProductionMix(), cfg)
+	if a.Completed != b.Completed || a.Utilization != b.Utilization {
+		t.Fatal("same seed, different stats")
+	}
+}
+
+func TestLightLoadLowWait(t *testing.T) {
+	mix := ProductionMix()
+	mix.ArrivalRate = 0.001 // far below capacity
+	st, err := Simulate(FullPod(), Reconfigurable{}, mix, SimConfig{Duration: 100000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanWait > mix.MeanDuration/10 {
+		t.Fatalf("light-load wait %.0f too high", st.MeanWait)
+	}
+	if st.Utilization > 0.5 {
+		t.Fatalf("light-load utilization %.2f too high", st.Utilization)
+	}
+}
+
+func TestFailureSwapKeepsJobsAlive(t *testing.T) {
+	mix := ProductionMix()
+	cfg := SimConfig{Duration: 100000, Seed: 2, CubeMTBF: 50000, MeanRepair: 5000}
+	reconf, err := Simulate(FullPod(), Reconfigurable{}, mix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contig, err := Simulate(FullPod(), Contiguous{}, mix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconfigurable fabric swaps spare cubes in; the static fabric
+	// loses the slice (§4.2.2: it "can swap out a bad elemental cube
+	// whereas a static configuration cannot").
+	if reconf.Swaps == 0 {
+		t.Error("no cube swaps recorded under failure injection")
+	}
+	if contig.Swaps != 0 {
+		t.Error("contiguous policy should never swap")
+	}
+	if contig.Preempted == 0 {
+		t.Error("contiguous policy lost no jobs despite failures")
+	}
+	if reconf.Preempted > contig.Preempted {
+		t.Errorf("reconfigurable preempted %d > contiguous %d", reconf.Preempted, contig.Preempted)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	st, err := Simulate(FullPod(), Reconfigurable{}, ProductionMix(), SimConfig{Duration: 20000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Utilization < 0 || st.Utilization > 1 {
+		t.Fatalf("utilization = %v", st.Utilization)
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import "container/heap"
+
+// Time is a virtual simulation time in seconds.
+type Time float64
+
+// Event is a scheduled callback in a discrete-event simulation.
+type Event struct {
+	At Time
+	Fn func()
+
+	index int // heap bookkeeping
+	seq   uint64
+}
+
+// Queue is a discrete-event simulation queue with a virtual clock.
+// The zero value is an empty queue at time zero, ready to use.
+type Queue struct {
+	now    Time
+	events eventHeap
+	nextID uint64
+}
+
+// Now returns the current virtual time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// simulated causality must be preserved.
+func (q *Queue) At(t Time, fn func()) *Event {
+	if t < q.now {
+		panic("sim: scheduling event in the past")
+	}
+	e := &Event{At: t, Fn: fn, seq: q.nextID}
+	q.nextID++
+	heap.Push(&q.events, e)
+	return e
+}
+
+// After schedules fn to run d seconds from the current virtual time.
+func (q *Queue) After(d float64, fn func()) *Event {
+	return q.At(q.now+Time(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(q.events) || q.events[e.index] != e {
+		return
+	}
+	heap.Remove(&q.events, e.index)
+	e.index = -1
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports whether an event was fired.
+func (q *Queue) Step() bool {
+	if len(q.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.events).(*Event)
+	q.now = e.At
+	e.index = -1
+	e.Fn()
+	return true
+}
+
+// Run fires events until the queue is empty and returns the final time.
+func (q *Queue) Run() Time {
+	for q.Step() {
+	}
+	return q.now
+}
+
+// RunUntil fires events with At <= deadline and advances the clock to
+// exactly deadline (even if no event fired at that instant).
+func (q *Queue) RunUntil(deadline Time) {
+	for len(q.events) > 0 && q.events[0].At <= deadline {
+		q.Step()
+	}
+	if deadline > q.now {
+		q.now = deadline
+	}
+}
+
+// eventHeap orders events by time, breaking ties by scheduling order so the
+// simulation is deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

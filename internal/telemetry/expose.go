@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Text exposition of a registry, one metric per line, in the flat
+// name/value format the fleet monitoring systems scrape.
+
+// WriteText writes every metric in sorted-name order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	metrics := make(map[string]any, len(names))
+	for _, n := range names {
+		metrics[n] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	for _, n := range names {
+		switch m := metrics[n].(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", n, m.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s %g\n", n, m.Value()); err != nil {
+				return err
+			}
+		case *Distribution:
+			s := m.Snapshot()
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", n, s.N); err != nil {
+				return err
+			}
+			if s.N > 0 {
+				if _, err := fmt.Fprintf(w, "%s_mean %g\n%s_min %g\n%s_max %g\n",
+					n, s.Mean, n, s.Min, n, s.Max); err != nil {
+					return err
+				}
+			}
+			for i, c := range s.Counts {
+				label := "+Inf"
+				if i < len(s.Bounds) {
+					label = fmt.Sprintf("%g", s.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, label, c); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Text returns the exposition as a string.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	return b.String()
+}

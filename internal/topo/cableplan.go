@@ -1,0 +1,133 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The physical cabling manifest of Appendix A / Fig A.1: which fiber of
+// which cube face plugs into which OCS port. The plan is static building
+// infrastructure — cubes and OCSes are cabled once at construction, and
+// every future slice is realized purely by mirror moves. This is the
+// "consider the fabric as part of the building" amortization argument of
+// §6, and the reason incremental cube turn-up (§4.2.3) needs no recabling.
+
+// Side is which crossbar side of an OCS a fiber lands on.
+type Side int
+
+// Sides.
+const (
+	North Side = iota
+	South
+)
+
+// String returns the side name.
+func (s Side) String() string {
+	if s == North {
+		return "N"
+	}
+	return "S"
+}
+
+// CableRun is one fiber of the plan: a cube face position to an OCS port.
+type CableRun struct {
+	Cube  int
+	Dim   int // 0=X, 1=Y, 2=Z
+	Plus  bool
+	Index int // face link index 0..15
+	OCS   OCSID
+	Port  int
+	Side  Side
+}
+
+// String formats the run as a pull-sheet line.
+func (c CableRun) String() string {
+	sign := "-"
+	if c.Plus {
+		sign = "+"
+	}
+	return fmt.Sprintf("cube%02d %s%s[%02d] -> ocs%02d %s%03d",
+		c.Cube, [3]string{"X", "Y", "Z"}[c.Dim], sign, c.Index, c.OCS, c.Side, c.Port)
+}
+
+// CablePlan generates the full manifest for a pod with the given cube
+// count: every cube contributes 6 faces × 16 fibers; the + face of
+// (dim, index) lands on the north side of OCS dim·16+index at port =
+// cube id, the − face on the south side at the same port.
+func CablePlan(cubes int) ([]CableRun, error) {
+	if cubes < 1 || cubes > 64 {
+		return nil, fmt.Errorf("topo: cable plan for %d cubes out of range", cubes)
+	}
+	var plan []CableRun
+	for c := 0; c < cubes; c++ {
+		for dim := 0; dim < 3; dim++ {
+			for idx := 0; idx < FaceLinks; idx++ {
+				o, err := OCSFor(dim, idx)
+				if err != nil {
+					return nil, err
+				}
+				plan = append(plan,
+					CableRun{Cube: c, Dim: dim, Plus: true, Index: idx, OCS: o, Port: c, Side: North},
+					CableRun{Cube: c, Dim: dim, Plus: false, Index: idx, OCS: o, Port: c, Side: South},
+				)
+			}
+		}
+	}
+	return plan, nil
+}
+
+// ValidatePlan checks the manifest: every (OCS, side, port) is used at
+// most once, every cube contributes exactly 96 fibers, and opposing faces
+// of a (dim, index) land on the same OCS.
+func ValidatePlan(plan []CableRun) error {
+	ports := make(map[[3]int]CableRun)
+	perCube := make(map[int]int)
+	pairOCS := make(map[[3]int]OCSID) // (cube, dim, index) -> OCS, must agree for ±
+	for _, r := range plan {
+		key := [3]int{int(r.OCS), int(r.Side), r.Port}
+		if prev, dup := ports[key]; dup {
+			return fmt.Errorf("topo: port collision: %s vs %s", r, prev)
+		}
+		ports[key] = r
+		perCube[r.Cube]++
+		pk := [3]int{r.Cube, r.Dim, r.Index}
+		if prev, seen := pairOCS[pk]; seen && prev != r.OCS {
+			return fmt.Errorf("topo: cube %d (dim %d, idx %d) split across OCS %d and %d",
+				r.Cube, r.Dim, r.Index, prev, r.OCS)
+		}
+		pairOCS[pk] = r.OCS
+	}
+	for cube, n := range perCube {
+		if n != 6*FaceLinks {
+			return fmt.Errorf("topo: cube %d has %d fibers, want %d", cube, n, 6*FaceLinks)
+		}
+	}
+	return nil
+}
+
+// PlanSummary aggregates the manifest per OCS for pull-sheet headers.
+func PlanSummary(plan []CableRun) map[OCSID]int {
+	out := make(map[OCSID]int)
+	for _, r := range plan {
+		out[r.OCS]++
+	}
+	return out
+}
+
+// IncrementalRuns returns the cable runs needed to add cube `newCube` to
+// an existing pod — exactly the new cube's own 96 fibers, touching nothing
+// else (§4.2.3 modular deployment).
+func IncrementalRuns(newCube int) ([]CableRun, error) {
+	full, err := CablePlan(newCube + 1)
+	if err != nil {
+		return nil, err
+	}
+	var out []CableRun
+	for _, r := range full {
+		if r.Cube == newCube {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCablePlanFullPod(t *testing.T) {
+	plan, err := CablePlan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 cubes × 96 fibers = 6144 runs.
+	if len(plan) != 6144 {
+		t.Fatalf("%d cable runs, want 6144", len(plan))
+	}
+	if err := ValidatePlan(plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCablePlanPerOCSLoad(t *testing.T) {
+	plan, err := CablePlan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := PlanSummary(plan)
+	if len(sum) != NumOCS {
+		t.Fatalf("%d OCSes in plan", len(sum))
+	}
+	for o, n := range sum {
+		// 64 cubes × 2 fibers (one N, one S) per OCS = 128 fibers: exactly
+		// the usable ports of a 136-port Palomar.
+		if n != 128 {
+			t.Fatalf("OCS %d carries %d fibers, want 128", o, n)
+		}
+	}
+}
+
+func TestCablePlanBounds(t *testing.T) {
+	if _, err := CablePlan(0); err == nil {
+		t.Error("0 cubes accepted")
+	}
+	if _, err := CablePlan(65); err == nil {
+		t.Error("65 cubes accepted")
+	}
+}
+
+func TestValidatePlanCatchesCollision(t *testing.T) {
+	plan, _ := CablePlan(2)
+	plan[1] = plan[0] // duplicate run
+	if err := ValidatePlan(plan); err == nil {
+		t.Fatal("duplicate port accepted")
+	}
+}
+
+func TestValidatePlanCatchesSplitPair(t *testing.T) {
+	plan, _ := CablePlan(1)
+	// Move a − face fiber to a different OCS than its + partner.
+	for i := range plan {
+		if !plan[i].Plus && plan[i].Dim == 0 && plan[i].Index == 0 {
+			plan[i].OCS = 5
+			plan[i].Port = 63 // avoid a port collision masking the real error
+			break
+		}
+	}
+	if err := ValidatePlan(plan); err == nil {
+		t.Fatal("split ± pair accepted")
+	}
+}
+
+func TestIncrementalRunsTouchOnlyNewCube(t *testing.T) {
+	runs, err := IncrementalRuns(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 96 {
+		t.Fatalf("%d incremental runs, want 96", len(runs))
+	}
+	for _, r := range runs {
+		if r.Cube != 17 {
+			t.Fatalf("run for cube %d in incremental plan", r.Cube)
+		}
+	}
+}
+
+func TestCableRunString(t *testing.T) {
+	plan, _ := CablePlan(1)
+	s := plan[0].String()
+	if !strings.Contains(s, "cube00") || !strings.Contains(s, "ocs") {
+		t.Fatalf("pull-sheet line = %q", s)
+	}
+}
+
+func TestCablePlanConsistentWithSliceCircuits(t *testing.T) {
+	// Every circuit a slice needs must connect ports that the cable plan
+	// actually wired: OCS o north port = +face fiber of the north cube,
+	// south port = −face fiber of the south cube.
+	plan, _ := CablePlan(8)
+	wired := map[[3]int]bool{} // (ocs, side, port)
+	for _, r := range plan {
+		wired[[3]int{int(r.OCS), int(r.Side), r.Port}] = true
+	}
+	sl, err := ComposeSlice(Shape{X: 8, Y: 8, Z: 8}, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sl.RequiredCircuits() {
+		if !wired[[3]int{int(c.OCS), int(North), c.North}] {
+			t.Fatalf("circuit %+v needs an unwired north port", c)
+		}
+		if !wired[[3]int{int(c.OCS), int(South), c.South}] {
+			t.Fatalf("circuit %+v needs an unwired south port", c)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package topo_test
+
+import (
+	"fmt"
+
+	"lightwave/internal/topo"
+)
+
+// Example composes a 256-chip slice from four non-contiguous cubes and
+// shows the OCS circuits realizing its torus.
+func Example() {
+	slice, err := topo.ComposeSlice(topo.Shape{X: 4, Y: 4, Z: 16}, []int{7, 23, 41, 60})
+	if err != nil {
+		panic(err)
+	}
+	circuits := slice.RequiredCircuits()
+	fmt.Println("circuits:", len(circuits))
+	fmt.Println("first:", circuits[0].OCS, circuits[0].North, "->", circuits[0].South)
+	// Output:
+	// circuits: 192
+	// first: 0 7 -> 7
+}

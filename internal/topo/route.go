@@ -1,0 +1,106 @@
+package topo
+
+import "fmt"
+
+// Coord is a chip coordinate in a slice's 3D torus.
+type Coord struct {
+	X, Y, Z int
+}
+
+// InShape reports whether the coordinate is inside shape s.
+func (c Coord) InShape(s Shape) bool {
+	return c.X >= 0 && c.X < s.X && c.Y >= 0 && c.Y < s.Y && c.Z >= 0 && c.Z < s.Z
+}
+
+// torusStep returns the signed step (+1 or −1) that moves src toward dst
+// along a ring of the given size by the shorter way, and the distance.
+func torusStep(src, dst, size int) (step, dist int) {
+	if src == dst {
+		return 0, 0
+	}
+	fwd := (dst - src + size) % size
+	bwd := (src - dst + size) % size
+	if fwd <= bwd {
+		return 1, fwd
+	}
+	return -1, bwd
+}
+
+// TorusDistance returns the minimal hop count between two chips on the
+// torus of shape s.
+func TorusDistance(s Shape, a, b Coord) int {
+	_, dx := torusStep(a.X, b.X, s.X)
+	_, dy := torusStep(a.Y, b.Y, s.Y)
+	_, dz := torusStep(a.Z, b.Z, s.Z)
+	return dx + dy + dz
+}
+
+// Route returns the dimension-ordered (X, then Y, then Z) shortest path
+// from src to dst on the torus, including both endpoints. In normal
+// operation "the routing is deterministic and set by the slice
+// configuration" (§4.2.1); dimension order is the standard deadlock-free
+// deterministic choice.
+func Route(s Shape, src, dst Coord) ([]Coord, error) {
+	if !src.InShape(s) || !dst.InShape(s) {
+		return nil, fmt.Errorf("topo: route endpoints %v -> %v outside shape %v", src, dst, s)
+	}
+	path := []Coord{src}
+	cur := src
+	for cur.X != dst.X {
+		step, _ := torusStep(cur.X, dst.X, s.X)
+		cur.X = (cur.X + step + s.X) % s.X
+		path = append(path, cur)
+	}
+	for cur.Y != dst.Y {
+		step, _ := torusStep(cur.Y, dst.Y, s.Y)
+		cur.Y = (cur.Y + step + s.Y) % s.Y
+		path = append(path, cur)
+	}
+	for cur.Z != dst.Z {
+		step, _ := torusStep(cur.Z, dst.Z, s.Z)
+		cur.Z = (cur.Z + step + s.Z) % s.Z
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// AvgHopDistance returns the exact mean pairwise hop distance of the torus
+// of shape s (sum of per-dimension ring mean distances).
+func AvgHopDistance(s Shape) float64 {
+	return ringMeanDistance(s.X) + ringMeanDistance(s.Y) + ringMeanDistance(s.Z)
+}
+
+// ringMeanDistance is the mean shortest-path distance between two uniform
+// random nodes of a ring of n nodes (including the zero self-distance).
+func ringMeanDistance(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	sum := 0
+	for d := 0; d < n; d++ {
+		fwd := d
+		bwd := n - d
+		if bwd < fwd {
+			fwd = bwd
+		}
+		sum += fwd
+	}
+	return float64(sum) / float64(n)
+}
+
+// Diameter returns the maximum shortest-path hop count of the torus.
+func Diameter(s Shape) int {
+	return s.X/2 + s.Y/2 + s.Z/2
+}
+
+// CubeOf returns the cube-grid position containing a chip coordinate.
+func CubeOf(c Coord) Coord {
+	return Coord{c.X / CubeDim, c.Y / CubeDim, c.Z / CubeDim}
+}
+
+// CrossesCubeBoundary reports whether the hop from a to b (adjacent chips
+// on the torus) traverses an optical inter-cube link rather than an
+// intra-rack electrical link.
+func CrossesCubeBoundary(a, b Coord) bool {
+	return CubeOf(a) != CubeOf(b)
+}

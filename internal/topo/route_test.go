@@ -1,0 +1,128 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lightwave/internal/sim"
+)
+
+func TestTorusStep(t *testing.T) {
+	// Ring of 8: 1→6 backward is shorter (3 vs 5).
+	step, dist := torusStep(1, 6, 8)
+	if step != -1 || dist != 3 {
+		t.Fatalf("step=%d dist=%d", step, dist)
+	}
+	step, dist = torusStep(6, 1, 8)
+	if step != 1 || dist != 3 {
+		t.Fatalf("step=%d dist=%d", step, dist)
+	}
+	if s, d := torusStep(3, 3, 8); s != 0 || d != 0 {
+		t.Fatalf("self step=%d dist=%d", s, d)
+	}
+}
+
+func TestTorusDistanceWraparound(t *testing.T) {
+	s := Shape{16, 16, 16}
+	// Corner to corner: with wraparound each dim is 1 hop.
+	if d := TorusDistance(s, Coord{0, 0, 0}, Coord{15, 15, 15}); d != 3 {
+		t.Fatalf("corner distance = %d, want 3", d)
+	}
+	if d := TorusDistance(s, Coord{0, 0, 0}, Coord{8, 8, 8}); d != 24 {
+		t.Fatalf("antipode distance = %d, want 24", d)
+	}
+}
+
+func TestRoutePathProperties(t *testing.T) {
+	s := Shape{8, 16, 4}
+	err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		src := Coord{r.Intn(s.X), r.Intn(s.Y), r.Intn(s.Z)}
+		dst := Coord{r.Intn(s.X), r.Intn(s.Y), r.Intn(s.Z)}
+		path, err := Route(s, src, dst)
+		if err != nil {
+			return false
+		}
+		// Path starts at src, ends at dst, length = distance+1, and each
+		// hop moves exactly one step in one dimension.
+		if path[0] != src || path[len(path)-1] != dst {
+			return false
+		}
+		if len(path)-1 != TorusDistance(s, src, dst) {
+			return false
+		}
+		for i := 1; i < len(path); i++ {
+			if TorusDistance(s, path[i-1], path[i]) != 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteOutOfShape(t *testing.T) {
+	s := Shape{4, 4, 4}
+	if _, err := Route(s, Coord{5, 0, 0}, Coord{0, 0, 0}); err == nil {
+		t.Fatal("out-of-shape src accepted")
+	}
+	if _, err := Route(s, Coord{0, 0, 0}, Coord{0, 0, 9}); err == nil {
+		t.Fatal("out-of-shape dst accepted")
+	}
+}
+
+func TestRouteDimensionOrdered(t *testing.T) {
+	s := Shape{8, 8, 8}
+	path, err := Route(s, Coord{0, 0, 0}, Coord{2, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X moves must all come before Y moves.
+	seenY := false
+	for i := 1; i < len(path); i++ {
+		dx := path[i].X != path[i-1].X
+		dy := path[i].Y != path[i-1].Y
+		if dy {
+			seenY = true
+		}
+		if dx && seenY {
+			t.Fatal("X move after Y move: not dimension ordered")
+		}
+	}
+}
+
+func TestAvgHopDistance(t *testing.T) {
+	// Ring of 4: distances {0,1,2,1}, mean 1. Shape 4×4×4 → 3.
+	if got := AvgHopDistance(Shape{4, 4, 4}); got != 3 {
+		t.Fatalf("avg hop = %v", got)
+	}
+	// Symmetric shapes minimize average distance at fixed size.
+	if AvgHopDistance(Shape{16, 16, 16}) >= AvgHopDistance(Shape{4, 4, 256}) {
+		t.Fatal("16³ should have lower mean distance than 4×4×256")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Diameter(Shape{16, 16, 16}); d != 24 {
+		t.Fatalf("diameter = %d", d)
+	}
+	if d := Diameter(Shape{4, 4, 256}); d != 132 {
+		t.Fatalf("diameter = %d", d)
+	}
+}
+
+func TestCubeBoundaryDetection(t *testing.T) {
+	a := Coord{3, 0, 0}
+	b := Coord{4, 0, 0}
+	if !CrossesCubeBoundary(a, b) {
+		t.Fatal("3→4 crosses a cube boundary")
+	}
+	if CrossesCubeBoundary(Coord{1, 2, 3}, Coord{2, 2, 3}) {
+		t.Fatal("intra-cube hop misclassified")
+	}
+	if CubeOf(Coord{5, 9, 15}) != (Coord{1, 2, 3}) {
+		t.Fatalf("CubeOf = %v", CubeOf(Coord{5, 9, 15}))
+	}
+}

@@ -1,0 +1,160 @@
+package topo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file generates the deterministic routing state of §4.2.1 ("In normal
+// operation, the routing is deterministic and set by the slice
+// configuration"): per-chip next-hop decisions for dimension-ordered torus
+// routing, and the mapping from a chip-level inter-cube hop to the physical
+// OCS circuit that carries it.
+
+// Direction is a signed hop along one dimension.
+type Direction int
+
+// Directions.
+const (
+	Plus  Direction = 1
+	Minus Direction = -1
+)
+
+// Hop is a routing decision: move one step along Dim in Dir.
+type Hop struct {
+	Dim int // 0=X, 1=Y, 2=Z
+	Dir Direction
+}
+
+// ErrSameChip is returned when source equals destination.
+var ErrSameChip = errors.New("topo: routing to self")
+
+// NextHop returns the dimension-ordered routing decision at cur toward dst
+// on the torus of shape s.
+func NextHop(s Shape, cur, dst Coord) (Hop, error) {
+	if !cur.InShape(s) || !dst.InShape(s) {
+		return Hop{}, fmt.Errorf("topo: next hop %v->%v outside %v", cur, dst, s)
+	}
+	if cur == dst {
+		return Hop{}, ErrSameChip
+	}
+	dims := s.Dims()
+	curD := [3]int{cur.X, cur.Y, cur.Z}
+	dstD := [3]int{dst.X, dst.Y, dst.Z}
+	for d := 0; d < 3; d++ {
+		if curD[d] == dstD[d] {
+			continue
+		}
+		step, _ := torusStep(curD[d], dstD[d], dims[d])
+		return Hop{Dim: d, Dir: Direction(step)}, nil
+	}
+	return Hop{}, ErrSameChip
+}
+
+// Apply moves a coordinate by one hop with wraparound.
+func (h Hop) Apply(s Shape, c Coord) Coord {
+	dims := s.Dims()
+	switch h.Dim {
+	case 0:
+		c.X = (c.X + int(h.Dir) + dims[0]) % dims[0]
+	case 1:
+		c.Y = (c.Y + int(h.Dir) + dims[1]) % dims[1]
+	default:
+		c.Z = (c.Z + int(h.Dir) + dims[2]) % dims[2]
+	}
+	return c
+}
+
+// RoutingTable holds the next-hop decisions of one chip for every
+// destination, the in-ASIC routing state the slice configuration programs.
+type RoutingTable struct {
+	Shape Shape
+	Self  Coord
+	// hops[dst] = next hop; destinations indexed by linear coordinate.
+	hops []Hop
+}
+
+// linear maps a coordinate to its table index.
+func linear(s Shape, c Coord) int {
+	return (c.X*s.Y+c.Y)*s.Z + c.Z
+}
+
+// BuildRoutingTable computes the full table for one chip.
+func BuildRoutingTable(s Shape, self Coord) (*RoutingTable, error) {
+	if !self.InShape(s) {
+		return nil, fmt.Errorf("topo: chip %v outside %v", self, s)
+	}
+	t := &RoutingTable{Shape: s, Self: self, hops: make([]Hop, s.Chips())}
+	for x := 0; x < s.X; x++ {
+		for y := 0; y < s.Y; y++ {
+			for z := 0; z < s.Z; z++ {
+				dst := Coord{x, y, z}
+				if dst == self {
+					continue
+				}
+				h, err := NextHop(s, self, dst)
+				if err != nil {
+					return nil, err
+				}
+				t.hops[linear(s, dst)] = h
+			}
+		}
+	}
+	return t, nil
+}
+
+// Lookup returns the next hop toward dst.
+func (t *RoutingTable) Lookup(dst Coord) (Hop, error) {
+	if !dst.InShape(t.Shape) {
+		return Hop{}, fmt.Errorf("topo: destination %v outside %v", dst, t.Shape)
+	}
+	if dst == t.Self {
+		return Hop{}, ErrSameChip
+	}
+	return t.hops[linear(t.Shape, dst)], nil
+}
+
+// Entries returns the number of destinations the table covers.
+func (t *RoutingTable) Entries() int { return t.Shape.Chips() - 1 }
+
+// FaceIndexForHop returns the face link index (0..15) a chip-level hop
+// crossing a cube boundary uses: the hop exits through the face position
+// given by the chip's coordinates within the two non-hop dimensions.
+func FaceIndexForHop(c Coord, dim int) int {
+	switch dim {
+	case 0:
+		return (c.Y%CubeDim)*CubeDim + c.Z%CubeDim
+	case 1:
+		return (c.X%CubeDim)*CubeDim + c.Z%CubeDim
+	default:
+		return (c.X%CubeDim)*CubeDim + c.Y%CubeDim
+	}
+}
+
+// CircuitForHop maps a chip-level hop from cur (inside the slice) along h
+// to the OCS circuit carrying it, or ok=false for an intra-cube electrical
+// hop. The returned circuit is expressed in physical cube IDs via the
+// slice's placement.
+func (sl *Slice) CircuitForHop(cur Coord, h Hop) (req CircuitReq, ok bool, err error) {
+	if !cur.InShape(sl.Shape) {
+		return CircuitReq{}, false, fmt.Errorf("topo: %v outside slice %v", cur, sl.Shape)
+	}
+	next := h.Apply(sl.Shape, cur)
+	if !CrossesCubeBoundary(cur, next) {
+		return CircuitReq{}, false, nil
+	}
+	o, err := OCSFor(h.Dim, FaceIndexForHop(cur, h.Dim))
+	if err != nil {
+		return CircuitReq{}, false, err
+	}
+	cc, nc := CubeOf(cur), CubeOf(next)
+	from := sl.CubeAt[cc.X][cc.Y][cc.Z]
+	to := sl.CubeAt[nc.X][nc.Y][nc.Z]
+	// Circuits are provisioned in the + direction: the physical light path
+	// from the + face of one cube to the − face of the next. A − direction
+	// hop rides the same bidirectional circuit in reverse.
+	if h.Dir == Plus {
+		return CircuitReq{OCS: o, North: from, South: to}, true, nil
+	}
+	return CircuitReq{OCS: o, North: to, South: from}, true, nil
+}

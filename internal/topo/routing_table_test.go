@@ -1,0 +1,179 @@
+package topo
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lightwave/internal/sim"
+)
+
+func TestNextHopReachesDestination(t *testing.T) {
+	// Property: repeatedly following NextHop reaches dst in exactly
+	// TorusDistance steps.
+	s := Shape{8, 4, 16}
+	err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		cur := Coord{r.Intn(s.X), r.Intn(s.Y), r.Intn(s.Z)}
+		dst := Coord{r.Intn(s.X), r.Intn(s.Y), r.Intn(s.Z)}
+		if cur == dst {
+			return true
+		}
+		want := TorusDistance(s, cur, dst)
+		for step := 0; step < want; step++ {
+			h, err := NextHop(s, cur, dst)
+			if err != nil {
+				return false
+			}
+			cur = h.Apply(s, cur)
+		}
+		return cur == dst
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextHopErrors(t *testing.T) {
+	s := Shape{4, 4, 4}
+	if _, err := NextHop(s, Coord{0, 0, 0}, Coord{0, 0, 0}); !errors.Is(err, ErrSameChip) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := NextHop(s, Coord{9, 0, 0}, Coord{0, 0, 0}); err == nil {
+		t.Error("out-of-shape accepted")
+	}
+}
+
+func TestRoutingTableMatchesNextHop(t *testing.T) {
+	s := Shape{4, 8, 4}
+	self := Coord{1, 5, 2}
+	table, err := BuildRoutingTable(s, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Entries() != s.Chips()-1 {
+		t.Fatalf("entries = %d", table.Entries())
+	}
+	for x := 0; x < s.X; x++ {
+		for y := 0; y < s.Y; y++ {
+			for z := 0; z < s.Z; z++ {
+				dst := Coord{x, y, z}
+				if dst == self {
+					continue
+				}
+				got, err := table.Lookup(dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _ := NextHop(s, self, dst)
+				if got != want {
+					t.Fatalf("dst %v: table %v, direct %v", dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRoutingTableErrors(t *testing.T) {
+	s := Shape{4, 4, 4}
+	if _, err := BuildRoutingTable(s, Coord{5, 0, 0}); err == nil {
+		t.Error("out-of-shape self accepted")
+	}
+	table, _ := BuildRoutingTable(s, Coord{0, 0, 0})
+	if _, err := table.Lookup(Coord{0, 0, 0}); !errors.Is(err, ErrSameChip) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := table.Lookup(Coord{9, 9, 9}); err == nil {
+		t.Error("out-of-shape dst accepted")
+	}
+}
+
+func TestFaceIndexForHopRange(t *testing.T) {
+	for dim := 0; dim < 3; dim++ {
+		seen := map[int]bool{}
+		for a := 0; a < CubeDim; a++ {
+			for b := 0; b < CubeDim; b++ {
+				var c Coord
+				switch dim {
+				case 0:
+					c = Coord{0, a, b}
+				case 1:
+					c = Coord{a, 0, b}
+				default:
+					c = Coord{a, b, 0}
+				}
+				idx := FaceIndexForHop(c, dim)
+				if idx < 0 || idx >= FaceLinks {
+					t.Fatalf("face index %d out of range", idx)
+				}
+				seen[idx] = true
+			}
+		}
+		if len(seen) != FaceLinks {
+			t.Fatalf("dim %d: only %d distinct face indices", dim, len(seen))
+		}
+	}
+}
+
+func TestCircuitForHopIntraCube(t *testing.T) {
+	sl, err := ComposeSlice(Shape{8, 4, 4}, []int{3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop within the first cube: electrical, no circuit.
+	_, ok, err := sl.CircuitForHop(Coord{0, 0, 0}, Hop{Dim: 1, Dir: Plus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("intra-cube hop mapped to a circuit")
+	}
+}
+
+func TestCircuitForHopMatchesProvisionedCircuits(t *testing.T) {
+	// Every optical hop a route can take must land on a circuit the slice
+	// actually provisioned.
+	s := Shape{8, 8, 4}
+	sl, err := ComposeSlice(s, []int{1, 4, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	provisioned := map[CircuitReq]bool{}
+	for _, r := range sl.RequiredCircuits() {
+		provisioned[r] = true
+	}
+	rng := sim.NewRand(5)
+	optical := 0
+	for trial := 0; trial < 500; trial++ {
+		cur := Coord{rng.Intn(s.X), rng.Intn(s.Y), rng.Intn(s.Z)}
+		dst := Coord{rng.Intn(s.X), rng.Intn(s.Y), rng.Intn(s.Z)}
+		if cur == dst {
+			continue
+		}
+		h, err := NextHop(s, cur, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, ok, err := sl.CircuitForHop(cur, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		optical++
+		if !provisioned[req] {
+			t.Fatalf("hop %v from %v uses unprovisioned circuit %+v", h, cur, req)
+		}
+	}
+	if optical == 0 {
+		t.Fatal("no optical hops sampled")
+	}
+}
+
+func TestCircuitForHopOutOfShape(t *testing.T) {
+	sl, _ := ComposeSlice(Shape{4, 4, 4}, []int{0})
+	if _, _, err := sl.CircuitForHop(Coord{9, 0, 0}, Hop{Dim: 0, Dir: Plus}); err == nil {
+		t.Fatal("out-of-shape accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package topo
+
+import "fmt"
+
+// Per-circuit traffic accounting: walk chip-level routes over a slice and
+// attribute every optical hop to the OCS circuit that carries it. This is
+// how the control plane answers "which circuits does this collective
+// stress, and evenly?" — the deterministic-routing property of §4.2.1
+// makes the answer exact.
+
+// LoadMap counts messages per optical circuit.
+type LoadMap map[CircuitReq]int
+
+// RouteLoad walks the dimension-ordered route src→dst and adds one message
+// to every optical circuit it crosses, returning the number of optical
+// hops (intra-cube electrical hops are free).
+func (sl *Slice) RouteLoad(src, dst Coord, load LoadMap) (optical int, err error) {
+	if load == nil {
+		return 0, fmt.Errorf("topo: nil load map")
+	}
+	cur := src
+	for cur != dst {
+		h, err := NextHop(sl.Shape, cur, dst)
+		if err != nil {
+			return optical, err
+		}
+		req, ok, err := sl.CircuitForHop(cur, h)
+		if err != nil {
+			return optical, err
+		}
+		if ok {
+			load[req]++
+			optical++
+		}
+		cur = h.Apply(sl.Shape, cur)
+	}
+	return optical, nil
+}
+
+// RingExchangeLoad adds one neighbor-exchange step of a ring collective
+// along dim: every chip sends one message to its +1 neighbor (with
+// wraparound). Ring collectives repeat this step n−1 times per phase; the
+// per-step load shape is what matters for balance.
+func (sl *Slice) RingExchangeLoad(dim int, load LoadMap) error {
+	if dim < 0 || dim > 2 {
+		return fmt.Errorf("topo: invalid dimension %d", dim)
+	}
+	s := sl.Shape
+	for x := 0; x < s.X; x++ {
+		for y := 0; y < s.Y; y++ {
+			for z := 0; z < s.Z; z++ {
+				cur := Coord{x, y, z}
+				h := Hop{Dim: dim, Dir: Plus}
+				req, ok, err := sl.CircuitForHop(cur, h)
+				if err != nil {
+					return err
+				}
+				if ok {
+					load[req]++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Balance summarizes a load map: min, max, and the number of loaded
+// circuits.
+func (l LoadMap) Balance() (min, max, circuits int) {
+	first := true
+	for _, n := range l {
+		if first {
+			min, max = n, n
+			first = false
+			continue
+		}
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return min, max, len(l)
+}
+
+// AllProvisioned reports whether every loaded circuit is in the slice's
+// provisioned circuit set — traffic must never need an unprogrammed path.
+func (l LoadMap) AllProvisioned(sl *Slice) bool {
+	prov := make(map[CircuitReq]bool, len(sl.Circuits()))
+	for _, r := range sl.RequiredCircuits() {
+		prov[r] = true
+	}
+	for r := range l {
+		if !prov[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// Circuits is a convenience alias used by AllProvisioned.
+func (sl *Slice) Circuits() []CircuitReq { return sl.RequiredCircuits() }

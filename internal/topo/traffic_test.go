@@ -1,0 +1,138 @@
+package topo
+
+import (
+	"testing"
+
+	"lightwave/internal/sim"
+)
+
+func testSlice(t *testing.T, s Shape) *Slice {
+	t.Helper()
+	cubes := make([]int, s.Cubes())
+	for i := range cubes {
+		cubes[i] = i
+	}
+	sl, err := ComposeSlice(s, cubes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sl
+}
+
+func TestRouteLoadCountsOpticalHops(t *testing.T) {
+	sl := testSlice(t, Shape{8, 4, 4})
+	load := LoadMap{}
+	// (0,0,0) → (7,0,0): route goes backward via wraparound (1 optical
+	// hop from cube 0's −X face to cube 1's +X... direction Minus).
+	optical, err := sl.RouteLoad(Coord{0, 0, 0}, Coord{7, 0, 0}, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optical != 1 {
+		t.Fatalf("optical hops = %d, want 1 (wraparound)", optical)
+	}
+	if !load.AllProvisioned(sl) {
+		t.Fatal("route used unprovisioned circuit")
+	}
+}
+
+func TestRouteLoadIntraCubeFree(t *testing.T) {
+	sl := testSlice(t, Shape{8, 4, 4})
+	load := LoadMap{}
+	optical, err := sl.RouteLoad(Coord{0, 0, 0}, Coord{3, 3, 3}, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optical != 0 || len(load) != 0 {
+		t.Fatalf("intra-cube route used %d optical hops", optical)
+	}
+}
+
+func TestRouteLoadNilMap(t *testing.T) {
+	sl := testSlice(t, Shape{4, 4, 4})
+	if _, err := sl.RouteLoad(Coord{0, 0, 0}, Coord{1, 0, 0}, nil); err == nil {
+		t.Fatal("nil load map accepted")
+	}
+}
+
+func TestRingExchangeLoadBalanced(t *testing.T) {
+	// A ring step along X on an 8×8×8 slice loads every X-dimension
+	// circuit exactly once: each (face index, cube pair) carries exactly
+	// one chip's neighbor message.
+	sl := testSlice(t, Shape{8, 8, 8})
+	load := LoadMap{}
+	if err := sl.RingExchangeLoad(0, load); err != nil {
+		t.Fatal(err)
+	}
+	min, max, circuits := load.Balance()
+	if min != max {
+		t.Fatalf("unbalanced ring load: min %d, max %d", min, max)
+	}
+	if min != 1 {
+		t.Fatalf("per-circuit load = %d, want 1", min)
+	}
+	// X rings: 2 cubes per line × 16 face indices × (8·8/16 lines of
+	// cubes... ) — just require full coverage of the slice's X circuits.
+	xCircuits := 0
+	for _, r := range sl.RequiredCircuits() {
+		if r.OCS.DimOf() == 0 {
+			xCircuits++
+		}
+	}
+	if circuits != xCircuits {
+		t.Fatalf("loaded %d circuits, slice has %d X circuits", circuits, xCircuits)
+	}
+	if !load.AllProvisioned(sl) {
+		t.Fatal("ring step used unprovisioned circuit")
+	}
+}
+
+func TestRingExchangeLoadSingleCubeDim(t *testing.T) {
+	// Along a dimension of one cube the ring closes through the self-wrap
+	// circuits; chips at the cube edge cross, interior chips stay
+	// electrical.
+	sl := testSlice(t, Shape{4, 4, 16})
+	load := LoadMap{}
+	if err := sl.RingExchangeLoad(0, load); err != nil {
+		t.Fatal(err)
+	}
+	for r := range load {
+		if r.North != r.South {
+			t.Fatalf("single-cube dim loaded non-self circuit %+v", r)
+		}
+	}
+	if !load.AllProvisioned(sl) {
+		t.Fatal("unprovisioned circuit")
+	}
+}
+
+func TestRingExchangeBadDim(t *testing.T) {
+	sl := testSlice(t, Shape{4, 4, 4})
+	if err := sl.RingExchangeLoad(3, LoadMap{}); err == nil {
+		t.Fatal("dim 3 accepted")
+	}
+}
+
+func TestRandomRoutesAllProvisioned(t *testing.T) {
+	// Property: any route within the slice uses only provisioned circuits.
+	sl := testSlice(t, Shape{8, 8, 16})
+	rng := sim.NewRand(3)
+	load := LoadMap{}
+	for trial := 0; trial < 300; trial++ {
+		src := Coord{rng.Intn(8), rng.Intn(8), rng.Intn(16)}
+		dst := Coord{rng.Intn(8), rng.Intn(8), rng.Intn(16)}
+		if _, err := sl.RouteLoad(src, dst, load); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !load.AllProvisioned(sl) {
+		t.Fatal("random route used unprovisioned circuit")
+	}
+}
+
+func TestBalanceEmpty(t *testing.T) {
+	min, max, n := LoadMap{}.Balance()
+	if min != 0 || max != 0 || n != 0 {
+		t.Fatal("empty balance not zero")
+	}
+}

@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check vet build test race bench experiments clean
+
+# The gate every change must pass: vet, build everything, race-test everything.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+clean:
+	$(GO) clean ./...

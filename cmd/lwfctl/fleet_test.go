@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"lightwave/internal/core"
+	"lightwave/internal/ctlrpc"
+	"lightwave/internal/fleet"
+)
+
+// testFleetDial brings up a lwfleetd-style fleet (real fabrics) and returns
+// a dialer for fresh clients.
+func testFleetDial(t *testing.T) func() *ctlrpc.Client {
+	t.Helper()
+	m := fleet.NewManager(fleet.Options{
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+	})
+	t.Cleanup(m.Close)
+	for _, name := range []string{"pod0", "pod1"} {
+		f, err := core.New(core.DefaultConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddPod(name, fleet.NewFabricBackend(f, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ctlrpc.NewFleetServer(m).Serve(ctx, lis)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return func() *ctlrpc.Client {
+		c, err := ctlrpc.Dial(lis.Addr().String(), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+}
+
+func TestDispatchFleetCommands(t *testing.T) {
+	dial := testFleetDial(t)
+	c := dial()
+
+	// Watch on its own connection: the four apply/remove commands below
+	// produce at least 3 events, so `fleet watch 3` terminates.
+	watchDone := make(chan error, 1)
+	wc := dial()
+	go func() { watchDone <- dispatch(wc, []string{"fleet", "watch", "3"}) }()
+	// Give the watch a moment to subscribe before events start flowing.
+	time.Sleep(50 * time.Millisecond)
+
+	cases := [][]string{
+		{"fleet", "status"},
+		{"fleet", "apply", "pod0", "train", "4x4x16", "0,1,2,3"},
+		{"fleet", "apply", "pod1", "infer", "4x4x8"}, // auto-placed
+		{"fleet", "status"},
+		{"fleet", "drain", "pod1"},
+		{"fleet", "undrain", "pod1"},
+		{"fleet", "drain", "pod0", "5"},
+		{"fleet", "undrain", "pod0", "5"},
+		{"fleet", "remove", "pod0", "train"},
+		{"fleet", "status"},
+	}
+	for _, args := range cases {
+		if err := dispatch(c, args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+
+	select {
+	case err := <-watchDone:
+		if err != nil {
+			t.Fatalf("watch: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch never saw 3 events")
+	}
+}
+
+func TestDispatchFleetErrors(t *testing.T) {
+	dial := testFleetDial(t)
+	c := dial()
+	bad := [][]string{
+		{"fleet"},
+		{"fleet", "bogus"},
+		{"fleet", "apply", "pod0"},
+		{"fleet", "apply", "pod0", "s", "4x4"},
+		{"fleet", "apply", "pod0", "s", "4x4x4", "zero"},
+		{"fleet", "apply", "ghost", "s", "4x4x4"},
+		{"fleet", "remove", "pod0"},
+		{"fleet", "drain"},
+		{"fleet", "drain", "ghost"},
+		{"fleet", "drain", "pod0", "x"},
+		{"fleet", "watch", "x"},
+		{"fleet", "watch", "1", "2"},
+	}
+	for _, args := range bad {
+		if err := dispatch(c, args); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}

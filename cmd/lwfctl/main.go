@@ -1,4 +1,5 @@
-// Command lwfctl is the operator CLI for a lightwave fabric daemon (lwfd).
+// Command lwfctl is the operator CLI for a lightwave fabric daemon (lwfd)
+// and, via the fleet subcommands, for the fleet daemon (lwfleetd).
 //
 // Usage:
 //
@@ -10,6 +11,12 @@
 //	lwfctl repair-cube <cube>
 //	lwfctl install-cube <cube>
 //	lwfctl observe-ber <ocs> <port> <ber>
+//	lwfctl fleet status
+//	lwfctl fleet apply <pod> <name> <XxYxZ> [cube,cube,...]
+//	lwfctl fleet remove <pod> <name>
+//	lwfctl fleet drain <pod> [ocs]
+//	lwfctl fleet undrain <pod> [ocs]
+//	lwfctl fleet watch [count]
 package main
 
 import (
@@ -59,7 +66,14 @@ commands:
   install-cube <cube>
   observe-ber <ocs> <port> <ber>
   repair-link <ocs> <cube>
-  metrics`)
+  metrics
+fleet commands (against lwfleetd):
+  fleet status
+  fleet apply <pod> <name> <XxYxZ> [cube,cube,...]
+  fleet remove <pod> <name>
+  fleet drain <pod> [ocs]
+  fleet undrain <pod> [ocs]
+  fleet watch [count]`)
 }
 
 func dispatch(c *ctlrpc.Client, args []string) error {
@@ -189,6 +203,12 @@ func dispatch(c *ctlrpc.Client, args []string) error {
 		}
 		fmt.Print(text)
 		return nil
+
+	case "fleet":
+		if len(args) < 2 {
+			return fmt.Errorf("fleet needs a subcommand")
+		}
+		return dispatchFleet(c, args[1:])
 
 	case "observe-ber":
 		if len(args) != 4 {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lwfd -addr 127.0.0.1:7600 -cubes 64
+//	lwfd -addr 127.0.0.1:7600 -cubes 64 [-metrics-addr 127.0.0.1:7680]
 package main
 
 import (
@@ -26,14 +26,15 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7600", "listen address")
 	cubes := flag.Int("cubes", 64, "installed elemental cubes (1-64)")
 	transceiver := flag.String("transceiver", "2x200G-bidi-CWDM4", "transceiver generation")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP /metrics listen address (disabled when empty)")
 	flag.Parse()
 
-	if err := run(*addr, *cubes, *transceiver); err != nil {
+	if err := run(*addr, *metricsAddr, *cubes, *transceiver); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, cubes int, transceiver string) error {
+func run(addr, metricsAddr string, cubes int, transceiver string) error {
 	cfg := core.DefaultConfig(cubes)
 	if transceiver != cfg.Transceiver.Name {
 		gen, err := generationByName(transceiver)
@@ -60,5 +61,13 @@ func run(addr string, cubes int, transceiver string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if metricsAddr != "" {
+		mlis, err := cfg.Metrics.ServeMetrics(ctx, metricsAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("lwfd: metrics on http://%s/metrics", mlis.Addr())
+	}
 	return ctlrpc.NewServer(fabric).Serve(ctx, lis)
 }

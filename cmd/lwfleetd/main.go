@@ -1,0 +1,105 @@
+// Command lwfleetd is the fleet control-plane daemon: it embeds N simulated
+// superpod fabrics (pod0..podN-1), reconciles operator intents against them
+// through internal/fleet's per-pod workers, and serves the fleet ctlrpc
+// methods — fleet-status, apply-intent, drain, undrain and the watch event
+// stream — on a TCP address for cmd/lwfctl.
+//
+// Usage:
+//
+//	lwfleetd -addr 127.0.0.1:7700 -pods 4 -cubes 64 [-metrics-addr 127.0.0.1:7780]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lightwave/internal/core"
+	"lightwave/internal/ctlrpc"
+	"lightwave/internal/fleet"
+	"lightwave/internal/optics"
+	"lightwave/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
+	pods := flag.Int("pods", 4, "number of superpod fabrics to manage")
+	cubes := flag.Int("cubes", 64, "installed elemental cubes per pod (1-64)")
+	transceiver := flag.String("transceiver", "2x200G-bidi-CWDM4", "transceiver generation")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP /metrics listen address (disabled when empty)")
+	flag.Parse()
+
+	if err := run(*addr, *metricsAddr, *pods, *cubes, *transceiver); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildFleet constructs a manager over n simulated pods named pod0..podN-1.
+// All pods and the manager share one registry, so /metrics exposes the
+// fleet-wide reconcile counters alongside per-pod fabric telemetry.
+func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alerts telemetry.AlertSink) (*fleet.Manager, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("lwfleetd: need at least 1 pod, got %d", n)
+	}
+	m := fleet.NewManager(fleet.Options{Metrics: reg, Alerts: alerts})
+	for i := 0; i < n; i++ {
+		cfg := core.DefaultConfig(cubes)
+		if transceiver != cfg.Transceiver.Name {
+			gen, err := optics.GenerationByName(transceiver)
+			if err != nil {
+				m.Close()
+				return nil, err
+			}
+			cfg.Transceiver = gen
+		}
+		cfg.Metrics = reg
+		cfg.Alerts = alerts
+		f, err := core.New(cfg)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("building pod%d fabric: %w", i, err)
+		}
+		if err := m.AddPod(fmt.Sprintf("pod%d", i), fleet.NewFabricBackend(f, nil)); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func run(addr, metricsAddr string, pods, cubes int, transceiver string) error {
+	reg := telemetry.NewRegistry()
+	alerts := telemetry.SinkFunc(func(a telemetry.Alert) {
+		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
+	})
+
+	m, err := buildFleet(pods, cubes, transceiver, reg, alerts)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("lwfleetd: %d pods x %d cubes, %s modules, serving on %s",
+		pods, cubes, transceiver, lis.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if metricsAddr != "" {
+		mlis, err := reg.ServeMetrics(ctx, metricsAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("lwfleetd: metrics on http://%s/metrics", mlis.Addr())
+	}
+	return ctlrpc.NewFleetServer(m).Serve(ctx, lis)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lightwave/internal/fleet"
+	"lightwave/internal/telemetry"
+	"lightwave/internal/topo"
+)
+
+func TestBuildFleet(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m, err := buildFleet(4, 8, "2x200G-bidi-CWDM4", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	st := m.Status()
+	if len(st.Pods) != 4 {
+		t.Fatalf("pods = %d", len(st.Pods))
+	}
+	for _, ps := range st.Pods {
+		if !strings.HasPrefix(ps.Name, "pod") {
+			t.Errorf("pod name %q", ps.Name)
+		}
+		if ps.InstalledCubes != 8 {
+			t.Errorf("pod %s installed = %d", ps.Name, ps.InstalledCubes)
+		}
+	}
+
+	// Intents applied through the manager converge on the real fabrics.
+	if err := m.SetSliceIntent("pod0", fleet.SliceIntent{
+		Name: "train", Shape: topo.Shape{X: 4, Y: 4, Z: 16}, Cubes: []int{0, 1, 2, 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ps, err := m.PodStatus("pod0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.Converged && len(ps.ActualSlices) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pod0 never converged: %+v", ps)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBuildFleetErrors(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	if _, err := buildFleet(0, 8, "2x200G-bidi-CWDM4", reg, nil); err == nil {
+		t.Error("zero pods accepted")
+	}
+	if _, err := buildFleet(1, 8, "no-such-module", reg, nil); err == nil {
+		t.Error("unknown transceiver accepted")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m, err := buildFleet(2, 4, "2x200G-bidi-CWDM4", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lis, err := reg.ServeMetrics(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + lis.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "fleet.queue_depth") {
+		t.Fatalf("exposition missing fleet metrics:\n%s", body)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"lightwave/internal/topo"
+)
+
+// EnsureSlice drives the fabric toward "slice name exists with this shape on
+// these cubes" and reports whether any hardware state changed. It is the
+// idempotent primitive the fleet reconciler (internal/fleet) retries after
+// partial failures:
+//
+//   - no such slice: the slice is composed from the given cubes;
+//   - slice exists and matches: any circuit torn down out-of-band is
+//     re-programmed, otherwise nothing happens;
+//   - slice exists with a different shape or cube set: the slice is reshaped
+//     in place.
+//
+// A nil or empty cubes list means "whatever cubes the slice already has" for
+// an existing slice; for a new slice it is an error (the caller owns
+// placement).
+func (f *Fabric) EnsureSlice(name string, shape topo.Shape, cubes []int) (*Slice, bool, error) {
+	s, ok := f.slices[name]
+	if !ok {
+		if len(cubes) == 0 {
+			return nil, false, fmt.Errorf("core: ensure %q: no cubes given for a new slice", name)
+		}
+		ns, err := f.ComposeSlice(name, shape, cubes)
+		if err != nil {
+			return nil, false, err
+		}
+		return ns, true, nil
+	}
+	if s.Shape == shape && (len(cubes) == 0 || equalInts(s.Cubes, cubes)) {
+		// Intent already realized; heal any circuit that was disconnected
+		// behind the control plane's back.
+		var dead []topo.CircuitReq
+		for _, r := range s.Circuits {
+			if !f.circuitLive(r) {
+				dead = append(dead, r)
+			}
+		}
+		if len(dead) == 0 {
+			return s, false, nil
+		}
+		if err := f.applyCircuits(dead); err != nil {
+			return nil, false, fmt.Errorf("core: ensure %q: re-programming %d circuits: %w", name, len(dead), err)
+		}
+		return s, true, nil
+	}
+	if len(cubes) == 0 {
+		cubes = nil // ReshapeSlice's "reuse current cubes"
+	}
+	ns, err := f.ReshapeSlice(name, shape, cubes)
+	if err != nil {
+		return nil, false, err
+	}
+	return ns, true, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"lightwave/internal/topo"
+)
+
+func ensureFabric(t *testing.T, cubes int) *Fabric {
+	t.Helper()
+	f, err := New(DefaultConfig(cubes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestEnsureSliceComposes(t *testing.T) {
+	f := ensureFabric(t, 8)
+	sl, changed, err := f.EnsureSlice("j", topo.Shape{X: 4, Y: 4, Z: 16}, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("fresh compose reported unchanged")
+	}
+	if len(sl.Circuits) == 0 {
+		t.Fatal("no circuits composed")
+	}
+	// Second ensure with the same intent is a no-op.
+	_, changed, err = f.EnsureSlice("j", topo.Shape{X: 4, Y: 4, Z: 16}, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("matching ensure reported a change")
+	}
+	// Empty cubes means "keep current cubes" for an existing slice.
+	_, changed, err = f.EnsureSlice("j", topo.Shape{X: 4, Y: 4, Z: 16}, nil)
+	if err != nil || changed {
+		t.Fatalf("nil-cube ensure: changed=%v err=%v", changed, err)
+	}
+}
+
+func TestEnsureSliceNewNeedsCubes(t *testing.T) {
+	f := ensureFabric(t, 4)
+	if _, _, err := f.EnsureSlice("j", topo.Shape{X: 4, Y: 4, Z: 4}, nil); err == nil {
+		t.Fatal("new slice without cubes accepted")
+	}
+}
+
+func TestEnsureSliceReshapes(t *testing.T) {
+	f := ensureFabric(t, 8)
+	if _, _, err := f.EnsureSlice("j", topo.Shape{X: 4, Y: 4, Z: 16}, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	sl, changed, err := f.EnsureSlice("j", topo.Shape{X: 4, Y: 8, Z: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("reshape reported unchanged")
+	}
+	if sl.Shape != (topo.Shape{X: 4, Y: 8, Z: 8}) {
+		t.Fatalf("shape = %v", sl.Shape)
+	}
+}
+
+func TestEnsureSliceHealsDeadCircuits(t *testing.T) {
+	f := ensureFabric(t, 8)
+	sl, _, err := f.EnsureSlice("j", topo.Shape{X: 4, Y: 4, Z: 16}, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear one circuit down behind the control plane's back.
+	r := sl.Circuits[0]
+	sw, err := f.Switch(r.OCS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Disconnect(f.PortFor(r.OCS, r.North)); err != nil {
+		t.Fatal(err)
+	}
+	if f.circuitLive(r) {
+		t.Fatal("circuit still live after disconnect")
+	}
+	_, changed, err := f.EnsureSlice("j", topo.Shape{X: 4, Y: 4, Z: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("healing ensure reported unchanged")
+	}
+	if !f.circuitLive(r) {
+		t.Fatal("circuit not re-programmed")
+	}
+}

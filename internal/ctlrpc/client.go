@@ -2,23 +2,39 @@ package ctlrpc
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 )
 
+// Client errors.
+var (
+	// ErrClientBroken marks a client whose connection desynced: a mid-call
+	// transport error (partial write, short read, timeout) leaves the
+	// request/response framing in an undefined state, so every later call
+	// fails fast instead of pairing responses with the wrong requests.
+	ErrClientBroken = errors.New("ctlrpc: client broken by earlier transport error")
+	// ErrClientStreaming marks a client whose connection was dedicated to
+	// a watch event stream; open a second client for unary calls.
+	ErrClientStreaming = errors.New("ctlrpc: connection dedicated to a watch stream")
+)
+
 // Client is a synchronous control-protocol client. It is safe for
 // concurrent use; calls are serialized on the wire.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	reader *bufio.Reader
-	nextID uint64
+	mu        sync.Mutex
+	conn      net.Conn
+	reader    *bufio.Reader
+	nextID    uint64
+	broken    error // first transport error; sticky
+	streaming bool  // connection handed over to a Watch
 }
 
-// Dial connects to a fabric daemon.
+// Dial connects to a fabric or fleet daemon.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -35,10 +51,29 @@ func NewClient(conn net.Conn) *Client {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// call performs one request/response exchange.
+// call performs one request/response exchange with no deadline.
 func (c *Client) call(method string, params, result any) error {
+	return c.CallContext(context.Background(), method, params, result)
+}
+
+// CallContext performs one request/response exchange, honouring the
+// context's deadline and cancellation — a hung server no longer blocks the
+// caller forever. A call abandoned mid-exchange leaves the wire in an
+// undefined state, so it marks the client broken (ErrClientBroken) and all
+// subsequent calls fail fast; reconnect to recover.
+func (c *Client) CallContext(ctx context.Context, method string, params, result any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		return fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
+	}
+	if c.streaming {
+		return ErrClientStreaming
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
 	c.nextID++
 	req := Request{ID: c.nextID, Method: method}
 	if params != nil {
@@ -53,19 +88,24 @@ func (c *Client) call(method string, params, result any) error {
 		return err
 	}
 	line = append(line, '\n')
+
+	disarm := c.armContext(ctx)
+	defer disarm()
+
 	if _, err := c.conn.Write(line); err != nil {
-		return fmt.Errorf("ctlrpc: write: %w", err)
+		return c.transportErr(ctx, "write", err)
 	}
 	respLine, err := c.reader.ReadBytes('\n')
 	if err != nil {
-		return fmt.Errorf("ctlrpc: read: %w", err)
+		return c.transportErr(ctx, "read", err)
 	}
 	var resp Response
 	if err := json.Unmarshal(respLine, &resp); err != nil {
-		return fmt.Errorf("ctlrpc: decoding response: %w", err)
+		return c.transportErr(ctx, "decoding response", err)
 	}
 	if resp.ID != req.ID {
-		return fmt.Errorf("ctlrpc: response id %d for request %d", resp.ID, req.ID)
+		return c.transportErr(ctx, "framing",
+			fmt.Errorf("response id %d for request %d", resp.ID, req.ID))
 	}
 	if resp.Error != "" {
 		return fmt.Errorf("ctlrpc: server: %s", resp.Error)
@@ -78,10 +118,64 @@ func (c *Client) call(method string, params, result any) error {
 	return nil
 }
 
+// transportErr records the first mid-call failure and makes the client fail
+// fast from then on. When the context expired, the context error is
+// surfaced so errors.Is(err, context.DeadlineExceeded) works.
+func (c *Client) transportErr(ctx context.Context, op string, err error) error {
+	c.broken = fmt.Errorf("%s: %v", op, err)
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("ctlrpc: %s: %v: %w", op, err, cerr)
+	}
+	// The connection deadline can fire a hair before the context's own
+	// timer; surface the deadline error the caller armed for.
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		if _, ok := ctx.Deadline(); ok {
+			return fmt.Errorf("ctlrpc: %s: %v: %w", op, err, context.DeadlineExceeded)
+		}
+	}
+	return fmt.Errorf("ctlrpc: %s: %w", op, err)
+}
+
+// armContext maps the context onto connection deadlines: an expired or
+// cancelled context interrupts the in-flight read/write. The returned
+// function disarms the watchdog and clears the deadline.
+func (c *Client) armContext(ctx context.Context) func() {
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline && ctx.Done() == nil {
+		return func() {}
+	}
+	if hasDeadline {
+		_ = c.conn.SetDeadline(deadline)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			_ = c.conn.SetDeadline(time.Unix(1, 0)) // unblock immediately
+		case <-stop:
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+}
+
 // Status fetches fabric state.
 func (c *Client) Status() (StatusResult, error) {
 	var r StatusResult
 	err := c.call(MethodStatus, nil, &r)
+	return r, err
+}
+
+// StatusContext is Status with a deadline.
+func (c *Client) StatusContext(ctx context.Context) (StatusResult, error) {
+	var r StatusResult
+	err := c.CallContext(ctx, MethodStatus, nil, &r)
 	return r, err
 }
 

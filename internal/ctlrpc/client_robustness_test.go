@@ -1,0 +1,193 @@
+package ctlrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// silentListener accepts connections and reads requests without ever
+// responding — a hung server.
+func silentListener(t *testing.T) net.Listener {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return lis
+}
+
+func TestCallContextDeadline(t *testing.T) {
+	lis := silentListener(t)
+	c, err := Dial(lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.StatusContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline not honoured: blocked %v", elapsed)
+	}
+
+	// The abandoned call desynced the wire: the client must fail fast now.
+	if _, err := c.Status(); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("call after broken: %v", err)
+	}
+}
+
+func TestCallContextCancel(t *testing.T) {
+	lis := silentListener(t)
+	c, err := Dial(lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.StatusContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallContextAlreadyExpired(t *testing.T) {
+	c := startServer(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.StatusContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// A pre-call context error must NOT break the client: nothing hit the
+	// wire.
+	if _, err := c.Status(); err != nil {
+		t.Fatalf("client broken by pre-call ctx error: %v", err)
+	}
+}
+
+func TestClientBrokenAfterMidCallError(t *testing.T) {
+	// A server that replies with a mismatched response id desyncs the
+	// request pairing; the client must refuse further calls.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4096)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		fmt.Fprintf(conn, "{\"id\":999}\n")
+		// Keep the connection open so only the framing error is at play.
+		time.Sleep(time.Second)
+	}()
+	c, err := Dial(lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Status(); err == nil {
+		t.Fatal("mismatched response id accepted")
+	}
+	if _, err := c.Status(); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("second call: %v", err)
+	}
+	if _, err := c.Watch(); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("watch on broken client: %v", err)
+	}
+}
+
+// TestConcurrentMultiClientStress hammers one daemon from many clients and
+// goroutines issuing compose/destroy/status; run under -race it checks the
+// server's serialization end to end.
+func TestConcurrentMultiClientStress(t *testing.T) {
+	c0 := startServer(t, 16)
+	addr := c0.conn.RemoteAddr().String()
+
+	const clients = 8
+	const iters = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*iters*3)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(addr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			// Each client owns two cubes, so composes never collide.
+			cubes := []int{2 * id, 2*id + 1}
+			name := fmt.Sprintf("job-%d", id)
+			for it := 0; it < iters; it++ {
+				if _, err := c.Compose(name, [3]int{4, 4, 8}, cubes); err != nil {
+					errs <- fmt.Errorf("client %d compose: %w", id, err)
+					return
+				}
+				if _, err := c.Status(); err != nil {
+					errs <- fmt.Errorf("client %d status: %w", id, err)
+					return
+				}
+				if _, err := c.ObserveBER(id%48, id, 1e-6); err != nil {
+					errs <- fmt.Errorf("client %d ber: %w", id, err)
+					return
+				}
+				if err := c.Destroy(name); err != nil {
+					errs <- fmt.Errorf("client %d destroy: %w", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st, err := c0.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalCircuits != 0 || len(st.Slices) != 0 {
+		t.Fatalf("daemon left dirty: %+v", st)
+	}
+}

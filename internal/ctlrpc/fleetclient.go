@@ -1,0 +1,121 @@
+package ctlrpc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// Fleet-scoped typed calls for a FleetServer (cmd/lwfleetd).
+
+// FleetStatus fetches fleet state.
+func (c *Client) FleetStatus() (FleetStatusResult, error) {
+	var r FleetStatusResult
+	err := c.call(MethodFleetStatus, nil, &r)
+	return r, err
+}
+
+// FleetStatusContext is FleetStatus with a deadline.
+func (c *Client) FleetStatusContext(ctx context.Context) (FleetStatusResult, error) {
+	var r FleetStatusResult
+	err := c.CallContext(ctx, MethodFleetStatus, nil, &r)
+	return r, err
+}
+
+// ApplyIntent updates a pod's desired slice set.
+func (c *Client) ApplyIntent(p ApplyIntentParams) (ApplyIntentResult, error) {
+	var r ApplyIntentResult
+	err := c.call(MethodApplyIntent, p, &r)
+	return r, err
+}
+
+// Drain drains a pod, or one OCS within it when ocs is non-nil.
+func (c *Client) Drain(pod string, ocs *int) error {
+	return c.call(MethodDrain, DrainParams{Pod: pod, OCS: ocs}, nil)
+}
+
+// Undrain returns a pod (or one OCS) to service; a pod undrain also
+// releases any quarantine.
+func (c *Client) Undrain(pod string, ocs *int) error {
+	return c.call(MethodUndrain, DrainParams{Pod: pod, OCS: ocs}, nil)
+}
+
+// WatchStream is a live fleet event feed. It owns the client's connection:
+// after Watch succeeds, unary calls on the same client fail with
+// ErrClientStreaming. Close the stream (or the client) to release the
+// connection.
+type WatchStream struct {
+	c  *Client
+	id uint64
+}
+
+// Watch subscribes to the fleet event stream. Events emitted before the
+// subscription is acknowledged are not replayed.
+func (c *Client) Watch() (*WatchStream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return nil, fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
+	}
+	if c.streaming {
+		return nil, ErrClientStreaming
+	}
+	c.nextID++
+	req := Request{ID: c.nextID, Method: MethodWatch}
+	line, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	line = append(line, '\n')
+	if _, err := c.conn.Write(line); err != nil {
+		c.broken = err
+		return nil, fmt.Errorf("ctlrpc: write: %w", err)
+	}
+	ackLine, err := c.reader.ReadBytes('\n')
+	if err != nil {
+		c.broken = err
+		return nil, fmt.Errorf("ctlrpc: read: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(ackLine, &resp); err != nil {
+		c.broken = err
+		return nil, fmt.Errorf("ctlrpc: decoding watch ack: %w", err)
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("ctlrpc: server: %s", resp.Error)
+	}
+	var ack WatchAck
+	if err := json.Unmarshal(resp.Result, &ack); err != nil || !ack.Watching {
+		return nil, fmt.Errorf("ctlrpc: bad watch ack %s", ackLine)
+	}
+	c.streaming = true
+	return &WatchStream{c: c, id: req.ID}, nil
+}
+
+// Next blocks for the next event. It returns an error when the stream or
+// connection closes.
+func (w *WatchStream) Next() (WatchEvent, error) {
+	var ev WatchEvent
+	line, err := w.c.reader.ReadBytes('\n')
+	if err != nil {
+		return ev, fmt.Errorf("ctlrpc: watch read: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return ev, fmt.Errorf("ctlrpc: decoding event: %w", err)
+	}
+	if resp.ID != w.id {
+		return ev, fmt.Errorf("ctlrpc: event under id %d, want %d", resp.ID, w.id)
+	}
+	if resp.Error != "" {
+		return ev, fmt.Errorf("ctlrpc: server: %s", resp.Error)
+	}
+	if err := json.Unmarshal(resp.Result, &ev); err != nil {
+		return ev, fmt.Errorf("ctlrpc: decoding event: %w", err)
+	}
+	return ev, nil
+}
+
+// Close tears the stream down by closing the underlying connection (the
+// watch upgrade dedicated the connection to the stream).
+func (w *WatchStream) Close() error { return w.c.Close() }

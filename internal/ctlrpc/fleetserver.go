@@ -1,0 +1,189 @@
+package ctlrpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"lightwave/internal/fleet"
+	"lightwave/internal/topo"
+)
+
+// FleetServer serves the fleet-scoped control protocol for a fleet.Manager
+// (cmd/lwfleetd). Unlike the per-fabric Server it needs no dispatch lock:
+// the manager is safe for concurrent use and reconciliation runs in its own
+// workers, so slow pods never block the control socket.
+type FleetServer struct {
+	m *fleet.Manager
+}
+
+// NewFleetServer wraps a fleet manager.
+func NewFleetServer(m *fleet.Manager) *FleetServer {
+	return &FleetServer{m: m}
+}
+
+// Serve accepts connections until the listener closes or ctx is cancelled.
+func (s *FleetServer) Serve(ctx context.Context, lis net.Listener) error {
+	return serveLoop(ctx, lis, s.handleConn)
+}
+
+func (s *FleetServer) handleConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = fmt.Sprintf("bad request: %v", err)
+		} else if req.Method == MethodWatch {
+			// The watch upgrade dedicates this connection to the event
+			// stream; it ends when the client hangs up or ctx cancels.
+			s.streamEvents(ctx, enc, req.ID)
+			return
+		} else {
+			result, err := s.call(req.Method, req.Params)
+			resp = marshalResponse(req.ID, result, err)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// streamEvents acknowledges the watch and pushes every fleet event as a
+// Response carrying a WatchEvent, all under the watch request's ID.
+func (s *FleetServer) streamEvents(ctx context.Context, enc *json.Encoder, id uint64) {
+	sub := s.m.Subscribe(256)
+	defer sub.Close()
+	if err := enc.Encode(marshalResponse(id, WatchAck{Watching: true}, nil)); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			we := WatchEvent{
+				Seq:        ev.Seq,
+				UnixMillis: ev.Time.UnixMilli(),
+				Pod:        ev.Pod,
+				Type:       string(ev.Type),
+				Slice:      ev.Slice,
+				Detail:     ev.Detail,
+			}
+			if err := enc.Encode(marshalResponse(id, we, nil)); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *FleetServer) call(method string, params json.RawMessage) (any, error) {
+	switch method {
+	case MethodFleetStatus:
+		st := s.m.Status()
+		out := FleetStatusResult{
+			QueueDepth:      st.QueueDepth,
+			QuarantinedPods: st.QuarantinedPods,
+		}
+		for _, ps := range st.Pods {
+			out.Pods = append(out.Pods, FleetPodStatus{
+				Name:                ps.Name,
+				Drained:             ps.Drained,
+				DrainedOCS:          ps.DrainedOCS,
+				Quarantined:         ps.Quarantined,
+				Converged:           ps.Converged,
+				ConsecutiveFailures: ps.ConsecutiveFailures,
+				LastError:           ps.LastError,
+				DesiredSlices:       ps.DesiredSlices,
+				ActualSlices:        ps.ActualSlices,
+				InstalledCubes:      ps.InstalledCubes,
+				FreeCubes:           ps.FreeCubes,
+				Circuits:            ps.Circuits,
+			})
+		}
+		return out, nil
+
+	case MethodApplyIntent:
+		var p ApplyIntentParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		if p.Pod == "" {
+			return nil, fmt.Errorf("apply-intent: missing pod")
+		}
+		if p.Replace {
+			ins := make([]fleet.SliceIntent, 0, len(p.Slices))
+			for _, sp := range p.Slices {
+				if sp.Remove {
+					return nil, fmt.Errorf("apply-intent: remove is meaningless with replace")
+				}
+				ins = append(ins, intentFromSpec(sp))
+			}
+			if err := s.m.ReplaceIntent(p.Pod, ins); err != nil {
+				return nil, err
+			}
+			return ApplyIntentResult{Accepted: len(ins)}, nil
+		}
+		accepted := 0
+		for _, sp := range p.Slices {
+			var err error
+			if sp.Remove {
+				err = s.m.RemoveSliceIntent(p.Pod, sp.Name)
+			} else {
+				err = s.m.SetSliceIntent(p.Pod, intentFromSpec(sp))
+			}
+			if err != nil {
+				return nil, err
+			}
+			accepted++
+		}
+		return ApplyIntentResult{Accepted: accepted}, nil
+
+	case MethodDrain:
+		var p DrainParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		if p.OCS != nil {
+			return struct{}{}, s.m.DrainOCS(p.Pod, *p.OCS)
+		}
+		return struct{}{}, s.m.DrainPod(p.Pod)
+
+	case MethodUndrain:
+		var p DrainParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+		if p.OCS != nil {
+			return struct{}{}, s.m.UndrainOCS(p.Pod, *p.OCS)
+		}
+		return struct{}{}, s.m.UndrainPod(p.Pod)
+
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func intentFromSpec(sp SliceIntentSpec) fleet.SliceIntent {
+	return fleet.SliceIntent{
+		Name:  sp.Name,
+		Shape: topo.Shape{X: sp.Shape[0], Y: sp.Shape[1], Z: sp.Shape[2]},
+		Cubes: sp.Cubes,
+	}
+}

@@ -27,6 +27,13 @@ func NewServer(f *core.Fabric) *Server {
 
 // Serve accepts connections until the listener closes or ctx is cancelled.
 func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
+	return serveLoop(ctx, lis, s.handleConn)
+}
+
+// serveLoop accepts connections and runs handle per connection until the
+// listener closes or ctx is cancelled. Shared by the fabric and fleet
+// servers.
+func serveLoop(ctx context.Context, lis net.Listener, handle func(context.Context, net.Conn)) error {
 	go func() {
 		<-ctx.Done()
 		lis.Close()
@@ -47,7 +54,7 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.handleConn(ctx, conn)
+			handle(ctx, conn)
 		}()
 	}
 }
@@ -82,8 +89,13 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 func (s *Server) dispatch(req Request) Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	resp := Response{ID: req.ID}
 	result, err := s.call(req.Method, req.Params)
+	return marshalResponse(req.ID, result, err)
+}
+
+// marshalResponse packages a call's outcome as the wire response.
+func marshalResponse(id uint64, result any, err error) Response {
+	resp := Response{ID: id}
 	if err != nil {
 		resp.Error = err.Error()
 		return resp

@@ -1,8 +1,11 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"sort"
 	"strings"
 )
@@ -64,4 +67,33 @@ func (r *Registry) Text() string {
 	var b strings.Builder
 	_ = r.WriteText(&b)
 	return b.String()
+}
+
+// Handler returns an http.Handler serving the text exposition, so daemons
+// can mount the registry on a scrapeable /metrics endpoint instead of only
+// answering the ctlrpc metrics call.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// ServeMetrics binds addr and serves the registry on /metrics until ctx is
+// cancelled. It returns the bound listener so callers learn the resolved
+// port; the server shuts down in the background on cancellation.
+func (r *Registry) ServeMetrics(ctx context.Context, addr string) (net.Listener, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		_ = srv.Close()
+	}()
+	go func() { _ = srv.Serve(lis) }()
+	return lis, nil
 }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -255,5 +256,24 @@ func TestWriteTextSorted(t *testing.T) {
 	text := r.Text()
 	if strings.Index(text, "aa") > strings.Index(text, "zz") {
 		t.Fatal("exposition not sorted")
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reconfigs").Add(7)
+	r.Gauge("queue_depth").Set(3)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "reconfigs 7\n") || !strings.Contains(body, "queue_depth 3\n") {
+		t.Fatalf("body:\n%s", body)
 	}
 }

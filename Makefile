@@ -1,9 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race bench experiments clean
+.PHONY: check vet build test race race-par bench bench-sim experiments clean
 
-# The gate every change must pass: vet, build everything, race-test everything.
-check: vet build race
+# The gate every change must pass: vet, build everything, race-test the
+# parallel engine under contention, then race-test everything.
+check: vet build race-par race
+
+race-par:
+	$(GO) test -race ./internal/par/...
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +23,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Repeated runs of the parallelized Monte Carlo benchmarks (Fig 11b BER,
+# Fig 13 fleet BER, Fig 15 goodput) in machine-readable form, for tracking
+# the internal/par speedup across changes.
+bench-sim:
+	$(GO) test -json -run '^$$' -bench 'Fig11b|Fig13|Fig15' -benchmem -count=5 . > BENCH_sim.json
 
 experiments:
 	$(GO) run ./cmd/experiments

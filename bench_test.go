@@ -128,27 +128,18 @@ func BenchmarkFig12ConcatenatedFEC(b *testing.B) {
 
 // BenchmarkFig13FleetBER samples the per-lane BER of all 6144 receiving
 // ports of a pod (Fig 13: everything under 2e-4 with ≈2 decades margin).
+// The sampler fans out across GOMAXPROCS workers deterministically.
 func BenchmarkFig13FleetBER(b *testing.B) {
 	r := dsp.DefaultReceiver()
 	sens, err := r.Sensitivity(fec.KP4Threshold, dsp.MPICondition{MPIDB: dsp.NoMPI})
 	if err != nil {
 		b.Fatal(err)
 	}
+	cfg := dsp.DefaultFleetBERConfig()
+	cfg.SensitivityDBm = sens
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		rng := sim.NewRand(1313)
-		worst = 0
-		for port := 0; port < 6144; port++ {
-			margin := 1.55 + 0.12*rng.NormFloat64()
-			if margin < 1.3 {
-				margin = 1.3
-			}
-			mpi := -38 + 2*rng.NormFloat64()
-			ber := r.BER(sens+margin, dsp.MPICondition{MPIDB: mpi, OIM: true})
-			if ber > worst {
-				worst = ber
-			}
-		}
+		worst = r.FleetBER(cfg).Worst
 	}
 	b.ReportMetric(worst, "worst-fleet-BER")
 }
@@ -194,18 +185,19 @@ func BenchmarkFig15aFabricAvailability(b *testing.B) {
 }
 
 // BenchmarkFig15bGoodput computes the goodput-vs-slice-size family of
-// curves (Fig 15b), cross-validated by Monte Carlo.
+// curves (Fig 15b), cross-validated by Monte Carlo. The grid fans out on
+// the internal/par worker pool.
 func BenchmarkFig15bGoodput(b *testing.B) {
+	avails := []float64{0.99, 0.995, 0.999}
+	ks := []int{1, 2, 4, 8, 16, 32}
 	var reconf1024 float64
 	for i := 0; i < b.N; i++ {
-		for _, a := range []float64{0.99, 0.995, 0.999} {
-			p := avail.DefaultPod(a)
-			for _, k := range []int{1, 2, 4, 8, 16, 32} {
-				_ = p.Goodput(k, true)
-				_ = p.Goodput(k, false)
+		pts := avail.GoodputSurface(avails, ks)
+		for _, pt := range pts {
+			if pt.ServerAvail == 0.999 && pt.SliceCubes == 16 {
+				reconf1024 = pt.Reconfigurable
 			}
 		}
-		reconf1024 = avail.DefaultPod(0.999).Goodput(16, true)
 	}
 	b.ReportMetric(reconf1024, "goodput-1024@99.9")
 }

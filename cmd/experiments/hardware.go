@@ -184,38 +184,24 @@ func bisectPower(berAt func(float64) float64, target float64) float64 {
 // magnitude of BER margin" below the 2e-4 KP4 threshold.
 func fig13() {
 	rx := dsp.DefaultReceiver()
-	rng := sim.NewRand(1313)
-	var s sim.Summary
-	worst := 0.0
-	over := 0
-	n := 0
 	clean := dsp.MPICondition{MPIDB: dsp.NoMPI}
 	sens, err := rx.Sensitivity(fec.KP4Threshold, clean)
 	if err != nil {
 		panic(err)
 	}
 	// 64 cubes × 96 link endpoints = 6144 receiving ports, each with its
-	// own residual link margin and MPI level.
-	for cube := 0; cube < 64; cube++ {
-		for l := 0; l < 96; l++ {
-			margin := 1.55 + 0.12*rng.NormFloat64()
-			if margin < 1.3 {
-				margin = 1.3
-			}
-			mpi := -38 + 2*rng.NormFloat64()
-			ber := rx.BER(sens+margin, dsp.MPICondition{MPIDB: mpi, OIM: true})
-			s.Add(math.Log10(ber))
-			if ber > worst {
-				worst = ber
-			}
-			if ber > fec.KP4Threshold {
-				over++
-			}
-			n++
-		}
+	// own residual link margin and MPI level; the sampler shards the fleet
+	// across the worker pool.
+	cfg := dsp.DefaultFleetBERConfig()
+	cfg.SensitivityDBm = sens
+	res := rx.FleetBER(cfg)
+	var s sim.Summary
+	for _, ber := range res.BERs {
+		s.Add(math.Log10(ber))
 	}
+	over := res.OverThreshold(fec.KP4Threshold)
 	fmt.Printf("ports=%d  median log10(BER)=%.2f  worst BER=%.2e  KP4 threshold=2.0e-04\n",
-		n, s.Mean(), worst)
+		len(res.BERs), s.Mean(), res.Worst)
 	fmt.Printf("ports above threshold: %d; worst-case margin below threshold: %.1f decades (paper: ≈2)\n",
-		over, math.Log10(fec.KP4Threshold/worst))
+		over, math.Log10(fec.KP4Threshold/res.Worst))
 }

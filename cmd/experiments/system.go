@@ -73,16 +73,19 @@ func fig15a() {
 // fabrics at three server availabilities.
 func fig15b() {
 	avails := []float64{0.99, 0.995, 0.999}
+	ks := []int{1, 2, 4, 8, 16, 32}
+	pts := avail.GoodputSurface(avails, ks)
+	// Row-major (avail, k) grid → index a*len(ks)+i.
 	fmt.Printf("%-12s %-8s", "slice(TPUs)", "cubes")
 	for _, a := range avails {
 		fmt.Printf(" %10s %10s", fmt.Sprintf("st@%.3f", a), fmt.Sprintf("re@%.3f", a))
 	}
 	fmt.Println()
-	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+	for i, k := range ks {
 		fmt.Printf("%-12d %-8d", k*64, k)
-		for _, a := range avails {
-			p := avail.DefaultPod(a)
-			fmt.Printf(" %10.2f %10.2f", p.Goodput(k, false), p.Goodput(k, true))
+		for ai := range avails {
+			pt := pts[ai*len(ks)+i]
+			fmt.Printf(" %10.2f %10.2f", pt.Static, pt.Reconfigurable)
 		}
 		fmt.Println()
 	}

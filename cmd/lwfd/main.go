@@ -19,6 +19,7 @@ import (
 
 	"lightwave/internal/core"
 	"lightwave/internal/ctlrpc"
+	"lightwave/internal/par"
 	"lightwave/internal/telemetry"
 )
 
@@ -44,6 +45,9 @@ func run(addr, metricsAddr string, cubes int, transceiver string) error {
 		cfg.Transceiver = gen
 	}
 	cfg.Metrics = telemetry.NewRegistry()
+	// Any simulation work the daemon runs (Monte Carlo sizing, sweeps)
+	// reports its par_* counters alongside the fabric metrics.
+	par.SetRegistry(cfg.Metrics)
 	cfg.Alerts = telemetry.SinkFunc(func(a telemetry.Alert) {
 		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
 	})

@@ -23,6 +23,7 @@ import (
 	"lightwave/internal/ctlrpc"
 	"lightwave/internal/fleet"
 	"lightwave/internal/optics"
+	"lightwave/internal/par"
 	"lightwave/internal/telemetry"
 )
 
@@ -74,6 +75,9 @@ func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alert
 
 func run(addr, metricsAddr string, pods, cubes int, transceiver string) error {
 	reg := telemetry.NewRegistry()
+	// Simulation fan-out (Monte Carlo, sweeps) shares the fleet registry so
+	// par_* counters show up on /metrics.
+	par.SetRegistry(reg)
 	alerts := telemetry.SinkFunc(func(a telemetry.Alert) {
 		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
 	})

@@ -103,16 +103,28 @@ func (p PodModel) ReconfigurableSlices(k int) int {
 	return m
 }
 
+// staticGroups partitions the pod into fixed k-cube groups for the static
+// fabric: groups full slices plus leftover cubes that cannot form one. A
+// static fabric cannot recombine cubes across group boundaries, so the
+// leftover cubes are modeled as permanently held back — excluded from the
+// advertisement by both the closed-form sizing and the Monte Carlo
+// sampler, never silently dropped.
+func (p PodModel) staticGroups(k int) (groups, leftover int) {
+	return p.Cubes / k, p.Cubes % k
+}
+
 // StaticSlices returns the number of k-cube slices a static fabric can
 // advertise: the pod is partitioned into fixed contiguous slices and a
 // slice is lost if any of its cubes fails ("a static configuration cannot
 // [swap out a bad elemental cube]"). The largest m such that at least m of
-// the fixed slices are fully healthy with target probability.
+// the fixed slices are fully healthy with target probability. When Cubes
+// is not a multiple of k the remainder cubes are held back (see
+// staticGroups).
 func (p PodModel) StaticSlices(k int) int {
 	if k <= 0 || k > p.Cubes {
 		return 0
 	}
-	groups := p.Cubes / k
+	groups, _ := p.staticGroups(k)
 	pSlice := math.Pow(p.CubeAvail(), float64(k))
 	m := 0
 	for m+1 <= groups {

@@ -1,6 +1,9 @@
 package avail
 
-import "lightwave/internal/sim"
+import (
+	"lightwave/internal/par"
+	"lightwave/internal/sim"
+)
 
 // MonteCarloGoodput estimates the goodput by sampling cube health
 // directly: in each trial every cube is independently healthy with
@@ -8,6 +11,16 @@ import "lightwave/internal/sim"
 // realized failures, and the goodput is accepted only if the advertised
 // capacity was actually deliverable in at least Target of the trials. It
 // cross-validates the closed-form binomial analysis.
+//
+// Trials are sharded across the worker pool; each shard samples an
+// independent substream of rng, so the estimate is deterministic for a
+// given rng state at any worker count.
+//
+// On the static path the pod is partitioned into Cubes/k fixed k-cube
+// groups; when Cubes is not a multiple of k the Cubes%k leftover cubes
+// cannot form a group and are modeled as permanently held back (never
+// advertised, never sampled), exactly as the closed-form StaticSlices
+// sizing treats them.
 func (p PodModel) MonteCarloGoodput(k int, reconfigurable bool, trials int, rng *sim.Rand) float64 {
 	if trials <= 0 {
 		trials = 10000
@@ -25,36 +38,43 @@ func (p PodModel) MonteCarloGoodput(k int, reconfigurable bool, trials int, rng 
 		return 0
 	}
 	pc := p.CubeAvail()
+	groups, _ := p.staticGroups(k)
+	seed := rng.Uint64()
 	ok := 0
-	for t := 0; t < trials; t++ {
-		healthy := 0
-		groupsOK := 0
-		if reconfigurable {
-			for c := 0; c < p.Cubes; c++ {
-				if rng.Bernoulli(pc) {
-					healthy++
-				}
-			}
-			if healthy >= m*k {
-				ok++
-			}
-		} else {
-			groups := p.Cubes / k
-			for g := 0; g < groups; g++ {
-				allOK := true
-				for c := 0; c < k; c++ {
-					if !rng.Bernoulli(pc) {
-						allOK = false
+	for _, shardOK := range par.MonteCarlo("avail_mc_goodput", trials, seed, func(sh par.Shard) int {
+		shardOK := 0
+		for t := 0; t < sh.Trials(); t++ {
+			if reconfigurable {
+				healthy := 0
+				for c := 0; c < p.Cubes; c++ {
+					if sh.Rng.Bernoulli(pc) {
+						healthy++
 					}
 				}
-				if allOK {
-					groupsOK++
+				if healthy >= m*k {
+					shardOK++
+				}
+			} else {
+				groupsOK := 0
+				for g := 0; g < groups; g++ {
+					allOK := true
+					for c := 0; c < k; c++ {
+						if !sh.Rng.Bernoulli(pc) {
+							allOK = false
+						}
+					}
+					if allOK {
+						groupsOK++
+					}
+				}
+				if groupsOK >= m {
+					shardOK++
 				}
 			}
-			if groupsOK >= m {
-				ok++
-			}
 		}
+		return shardOK
+	}) {
+		ok += shardOK
 	}
 	if float64(ok)/float64(trials) < p.Target {
 		// The advertisement would not actually meet the target; report the

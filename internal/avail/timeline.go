@@ -161,13 +161,18 @@ func SimulateTimeline(p TimelineParams, rng *sim.Rand) (TimelineResult, error) {
 				account()
 				healthy[cc] = true
 				// On the reconfigurable fabric a broken slice may be
-				// waiting for capacity.
+				// waiting for capacity. Pick the lowest-numbered broken
+				// slice: map iteration order is randomized, and letting it
+				// choose would make the timeline differ run-to-run.
 				if p.Reconfigurable {
+					waiting := -1
 					for s, miss := range brokenSlices {
-						if miss > 0 {
-							tryRecompose(s)
-							break
+						if miss > 0 && (waiting < 0 || s < waiting) {
+							waiting = s
 						}
+					}
+					if waiting >= 0 {
+						tryRecompose(waiting)
 					}
 				}
 			})

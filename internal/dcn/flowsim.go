@@ -67,10 +67,19 @@ type flow struct {
 	remaining float64
 	started   float64
 	rate      float64
+	idx       int // position in the active slice
 }
 
 // ErrMismatch is returned when workload and topology disagree on size.
 var ErrMismatch = errors.New("dcn: workload does not match topology")
+
+// ErrDegenerate is returned for inputs that would otherwise surface deep
+// inside the simulation as NaN/Inf fair-share rates, divide-by-zero, or
+// flows that never drain: non-positive trunk rate / mean flow size /
+// duration, non-finite or negative demand entries, an all-zero demand
+// matrix, or a demanded block pair with no usable path (no direct trunk
+// and no two-hop transit — the zero-capacity-trunk case).
+var ErrDegenerate = errors.New("dcn: degenerate simulation input")
 
 // Simulate runs the flow-level simulation of the workload on the topology.
 func Simulate(t *Topology, w Workload, cfg SimConfig) (SimResult, error) {
@@ -81,31 +90,59 @@ func Simulate(t *Topology, w Workload, cfg SimConfig) (SimResult, error) {
 	if err := t.Validate(); err != nil {
 		return SimResult{}, err
 	}
-	if cfg.TrunkBps <= 0 || w.MeanFlowBytes <= 0 || w.Duration <= 0 {
-		return SimResult{}, errors.New("dcn: non-positive simulation parameters")
+	if cfg.TrunkBps <= 0 {
+		return SimResult{}, fmt.Errorf("%w: trunk rate %g B/s", ErrDegenerate, cfg.TrunkBps)
+	}
+	if w.MeanFlowBytes <= 0 {
+		return SimResult{}, fmt.Errorf("%w: mean flow size %g bytes", ErrDegenerate, w.MeanFlowBytes)
+	}
+	if w.Duration <= 0 {
+		return SimResult{}, fmt.Errorf("%w: duration %g s", ErrDegenerate, w.Duration)
 	}
 	rng := sim.NewRand(cfg.Seed)
 
-	// Pre-compute arrival rates per pair.
+	// Pre-compute arrival rates per pair, validating the demand matrix as
+	// we go: every demanded pair must have a usable path, or its flows
+	// would be assigned a zero-capacity direct hop and never drain.
 	type pair struct{ i, j int }
 	var pairs []pair
 	var rates []float64
 	for i := 0; i < n; i++ {
+		if len(w.Demand[i]) != n {
+			return SimResult{}, fmt.Errorf("%w: demand row %d has %d entries, topology %d", ErrMismatch, i, len(w.Demand[i]), n)
+		}
 		for j := 0; j < n; j++ {
-			if i != j && w.Demand[i][j] > 0 {
+			d := w.Demand[i][j]
+			if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+				return SimResult{}, fmt.Errorf("%w: demand[%d][%d] = %g", ErrDegenerate, i, j, d)
+			}
+			if i != j && d > 0 {
+				if !routable(t, i, j) {
+					return SimResult{}, fmt.Errorf("%w: demand on pair (%d,%d) with no direct trunk or two-hop path", ErrDegenerate, i, j)
+				}
 				pairs = append(pairs, pair{i, j})
-				rates = append(rates, w.Demand[i][j]/w.MeanFlowBytes)
+				rates = append(rates, d/w.MeanFlowBytes)
 			}
 		}
 	}
 	if len(pairs) == 0 {
-		return SimResult{}, errors.New("dcn: empty demand")
+		return SimResult{}, fmt.Errorf("%w: empty demand", ErrDegenerate)
 	}
 
 	cap := func(i, j int) float64 { return float64(t.Links[i][j]) * cfg.TrunkBps }
 	load := make(map[[2]int]float64) // current flow count per directed link
 
-	active := make(map[*flow]bool)
+	// The active set is an ordered slice, NOT a map: iteration order feeds
+	// tie-breaking (earliest completion, bottleneck selection) and the
+	// floating-point accumulation order of the fair-share recompute, so
+	// randomized map iteration would make results differ run-to-run.
+	var active []*flow
+	removeActive := func(f *flow) {
+		last := len(active) - 1
+		active[f.idx] = active[last]
+		active[f.idx].idx = f.idx
+		active = active[:last]
+	}
 	var fcts []float64
 	completedBytes := 0.0
 	transit, total := 0, 0
@@ -131,7 +168,7 @@ func Simulate(t *Topology, w Workload, cfg SimConfig) (SimResult, error) {
 			}
 		}
 		var fDone *flow
-		for f := range active {
+		for _, f := range active {
 			if f.rate <= 0 {
 				continue
 			}
@@ -145,7 +182,7 @@ func Simulate(t *Topology, w Workload, cfg SimConfig) (SimResult, error) {
 		}
 		// Drain all active flows to tNext.
 		dt := tNext - now
-		for f := range active {
+		for _, f := range active {
 			f.remaining -= f.rate * dt
 			if f.remaining < 0 {
 				f.remaining = 0
@@ -159,7 +196,7 @@ func Simulate(t *Topology, w Workload, cfg SimConfig) (SimResult, error) {
 			for _, h := range fDone.hops {
 				load[h]--
 			}
-			delete(active, fDone)
+			removeActive(fDone)
 			recompute()
 			continue
 		}
@@ -178,7 +215,8 @@ func Simulate(t *Topology, w Workload, cfg SimConfig) (SimResult, error) {
 		for _, h := range f.hops {
 			load[h]++
 		}
-		active[f] = true
+		f.idx = len(active)
+		active = append(active, f)
 		recompute()
 	}
 
@@ -222,26 +260,65 @@ func choosePath(t *Topology, src, dst int, load map[[2]int]float64, cfg SimConfi
 	if bestVia >= 0 && bestScore < directScore {
 		return [][2]int{{src, bestVia}, {bestVia, dst}}
 	}
-	if t.Links[src][dst] == 0 && bestVia >= 0 {
-		return [][2]int{{src, bestVia}, {bestVia, dst}}
+	if t.Links[src][dst] == 0 {
+		if bestVia >= 0 {
+			return [][2]int{{src, bestVia}, {bestVia, dst}}
+		}
+		// The random probes all missed. A direct "path" here would ride a
+		// zero-capacity trunk and never drain, so fall back to a
+		// deterministic scan for the least-loaded transit; Simulate's
+		// routability validation guarantees one exists.
+		for via := 0; via < t.Blocks; via++ {
+			if via == src || via == dst || t.Links[src][via] == 0 || t.Links[via][dst] == 0 {
+				continue
+			}
+			s1 := (load[[2]int{src, via}] + 1) / float64(t.Links[src][via])
+			s2 := (load[[2]int{via, dst}] + 1) / float64(t.Links[via][dst])
+			if s := math.Max(s1, s2); s < bestScore {
+				bestScore, bestVia = s, via
+			}
+		}
+		if bestVia >= 0 {
+			return [][2]int{{src, bestVia}, {bestVia, dst}}
+		}
 	}
 	return direct
 }
 
-// maxMinRates computes max-min fair rates by progressive filling.
-func maxMinRates(active map[*flow]bool, capFn func(i, j int) float64, trunk float64) {
+// routable reports whether the pair (i, j) has a direct trunk or at least
+// one two-hop transit path on t.
+func routable(t *Topology, i, j int) bool {
+	if t.Links[i][j] > 0 {
+		return true
+	}
+	for v := 0; v < t.Blocks; v++ {
+		if v != i && v != j && t.Links[i][v] > 0 && t.Links[v][j] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// maxMinRates computes max-min fair rates by progressive filling. active
+// is iterated in order, and link states are visited in first-touch order,
+// so bottleneck tie-breaking and the floating-point accumulation order —
+// and therefore the computed rates — are identical run-to-run (maps would
+// randomize both).
+func maxMinRates(active []*flow, capFn func(i, j int) float64, trunk float64) {
 	type linkState struct {
 		capacity float64
 		flows    []*flow
 	}
 	links := map[[2]int]*linkState{}
-	for f := range active {
+	var order []*linkState // first-touch order; map iteration is randomized
+	for _, f := range active {
 		f.rate = -1
 		for _, h := range f.hops {
 			ls := links[h]
 			if ls == nil {
 				ls = &linkState{capacity: capFn(h[0], h[1])}
 				links[h] = ls
+				order = append(order, ls)
 			}
 			ls.flows = append(ls.flows, f)
 		}
@@ -252,7 +329,7 @@ func maxMinRates(active map[*flow]bool, capFn func(i, j int) float64, trunk floa
 		// unfrozen flows.
 		var bottleneck *linkState
 		share := math.Inf(1)
-		for _, ls := range links {
+		for _, ls := range order {
 			nUnfrozen := 0
 			for _, f := range ls.flows {
 				if f.rate < 0 {
@@ -270,7 +347,7 @@ func maxMinRates(active map[*flow]bool, capFn func(i, j int) float64, trunk floa
 		if bottleneck == nil {
 			// Remaining flows are unconstrained (shouldn't happen: every
 			// flow crosses at least one link); cap at trunk rate.
-			for f := range active {
+			for _, f := range active {
 				if f.rate < 0 {
 					f.rate = trunk
 					unfrozen--

@@ -1,0 +1,43 @@
+package dcn
+
+import (
+	"lightwave/internal/par"
+	"lightwave/internal/sim"
+)
+
+// LoadPoint is one offered-load sweep point of the flow-level simulator.
+type LoadPoint struct {
+	// Load is the fraction of total fabric capacity offered.
+	Load   float64
+	Result SimResult
+}
+
+// LoadSweep runs the flow-level simulator at each offered-load fraction,
+// scaling the demand shape to that share of the fabric's directed
+// capacity (t.Blocks × uplinks trunks). Sweep points run in parallel on
+// the worker pool while each point's event loop stays sequential; point i
+// uses seed substream (cfg.Seed, i), so the sweep is deterministic at any
+// worker count and inserting a point never perturbs the others' arrival
+// processes.
+func LoadSweep(t *Topology, uplinks int, demand [][]float64, w Workload, cfg SimConfig, loads []float64) ([]LoadPoint, error) {
+	type out struct {
+		res SimResult
+		err error
+	}
+	outs := par.Sweep("dcn_load_sweep", loads, func(i int, load float64) out {
+		wp := w
+		wp.Demand = scaleDemand(demand, t.Blocks, uplinks, cfg.TrunkBps, load)
+		cp := cfg
+		cp.Seed = sim.SubstreamSeed(cfg.Seed, uint64(i))
+		r, err := Simulate(t, wp, cp)
+		return out{res: r, err: err}
+	})
+	pts := make([]LoadPoint, len(loads))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		pts[i] = LoadPoint{Load: loads[i], Result: o.res}
+	}
+	return pts, nil
+}

@@ -1,6 +1,9 @@
 package dcn
 
-import "lightwave/internal/sim"
+import (
+	"lightwave/internal/par"
+	"lightwave/internal/sim"
+)
 
 // SkewedDemand generates the long-lived, skewed traffic matrix the DCN
 // topology-engineering evaluation uses: a uniform background plus a few hot
@@ -124,22 +127,35 @@ func CompareTopologies(blocks, uplinks int, demand [][]float64, w Workload, cfg 
 	if satLoad == 0 {
 		satLoad = 0.95
 	}
+	// The uniform and engineered halves are independent simulations; run
+	// each pair concurrently on the worker pool (each event loop stays
+	// sequential, and both halves keep their own seed, so the comparison
+	// is identical at any worker count).
 	w.Demand = scaleDemand(demand, blocks, uplinks, cfg.TrunkBps, fctLoad)
-	c.Uniform, err = Simulate(uni, w, cfg)
-	if err != nil {
-		return c, err
+	tops := []*Topology{uni, eng}
+	type simOut struct {
+		res SimResult
+		err error
 	}
-	c.Engineered, err = Simulate(eng, w, cfg)
-	if err != nil {
-		return c, err
+	fct := par.Sweep("dcn_compare_fct", tops, func(_ int, top *Topology) simOut {
+		r, err := Simulate(top, w, cfg)
+		return simOut{res: r, err: err}
+	})
+	for _, o := range fct {
+		if o.err != nil {
+			return c, o.err
+		}
 	}
+	c.Uniform, c.Engineered = fct[0].res, fct[1].res
 	if c.Uniform.MeanFCT > 0 {
 		c.FCTImprovement = 1 - c.Engineered.MeanFCT/c.Uniform.MeanFCT
 	}
 
 	sat := scaleDemand(demand, blocks, uplinks, cfg.TrunkBps, satLoad)
-	c.UniformBps = AchievedThroughput(uni, sat, cfg.TrunkBps)
-	c.EngineeredBps = AchievedThroughput(eng, sat, cfg.TrunkBps)
+	tps := par.Sweep("dcn_compare_sat", tops, func(_ int, top *Topology) float64 {
+		return AchievedThroughput(top, sat, cfg.TrunkBps)
+	})
+	c.UniformBps, c.EngineeredBps = tps[0], tps[1]
 	if c.UniformBps > 0 {
 		c.ThroughputGain = c.EngineeredBps/c.UniformBps - 1
 	}

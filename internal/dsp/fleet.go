@@ -1,0 +1,97 @@
+package dsp
+
+import "lightwave/internal/par"
+
+// Fleet-wide BER sampling (Fig 13): every receiving port of a pod runs
+// with its own residual link margin (design margin minus end-of-life
+// allocations actually spent) and its own MPI level; the per-lane BER
+// distribution must sit well under the KP4 threshold. The sampler is the
+// fleet-telemetry counterpart of the single-lane models in this package
+// and fans out across the worker pool deterministically.
+
+// FleetBERConfig parameterizes a fleet sample.
+type FleetBERConfig struct {
+	// Ports is the number of receiving ports sampled (a 64-cube pod has
+	// 64×96 = 6144).
+	Ports int
+	// SensitivityDBm is the receiver sensitivity at the FEC threshold;
+	// per-port received power is SensitivityDBm + margin.
+	SensitivityDBm float64
+	// MarginMeanDB/MarginSigmaDB describe the Gaussian spread of residual
+	// link margin across the fleet; MarginFloorDB clips the worst links
+	// (repair thresholds keep links above it).
+	MarginMeanDB, MarginSigmaDB, MarginFloorDB float64
+	// MPIMeanDB/MPISigmaDB describe the per-port MPI level.
+	MPIMeanDB, MPISigmaDB float64
+	// OIM enables interference mitigation at every receiver (the
+	// production DSP always runs it).
+	OIM bool
+	// Seed fixes the fleet draw; a given seed yields the same fleet at any
+	// worker count.
+	Seed uint64
+}
+
+// DefaultFleetBERConfig returns the Fig 13 configuration: 6144 ports at
+// ~1.55 dB residual margin and −38 dB mean MPI.
+func DefaultFleetBERConfig() FleetBERConfig {
+	return FleetBERConfig{
+		Ports:         6144,
+		MarginMeanDB:  1.55,
+		MarginSigmaDB: 0.12,
+		MarginFloorDB: 1.3,
+		MPIMeanDB:     -38,
+		MPISigmaDB:    2,
+		OIM:           true,
+		Seed:          1313,
+	}
+}
+
+// FleetBERResult is the sampled fleet distribution.
+type FleetBERResult struct {
+	// BERs holds the per-port pre-FEC BER in port order.
+	BERs []float64
+	// Worst is the maximum BER across the fleet.
+	Worst float64
+}
+
+// OverThreshold counts ports whose BER exceeds thr.
+func (r FleetBERResult) OverThreshold(thr float64) int {
+	n := 0
+	for _, b := range r.BERs {
+		if b > thr {
+			n++
+		}
+	}
+	return n
+}
+
+// FleetBER samples the per-port BER of the whole fleet, parallelized over
+// port shards with one RNG substream per shard.
+func (rx Receiver) FleetBER(cfg FleetBERConfig) FleetBERResult {
+	if cfg.Ports <= 0 {
+		cfg.Ports = 6144
+	}
+	res := FleetBERResult{BERs: make([]float64, cfg.Ports)}
+	worsts := par.MonteCarlo("dsp_fleet_ber", cfg.Ports, cfg.Seed, func(sh par.Shard) float64 {
+		worst := 0.0
+		for port := sh.Start; port < sh.End; port++ {
+			margin := cfg.MarginMeanDB + cfg.MarginSigmaDB*sh.Rng.NormFloat64()
+			if margin < cfg.MarginFloorDB {
+				margin = cfg.MarginFloorDB
+			}
+			mpi := cfg.MPIMeanDB + cfg.MPISigmaDB*sh.Rng.NormFloat64()
+			ber := rx.BER(cfg.SensitivityDBm+margin, MPICondition{MPIDB: mpi, OIM: cfg.OIM})
+			res.BERs[port] = ber
+			if ber > worst {
+				worst = ber
+			}
+		}
+		return worst
+	})
+	for _, w := range worsts {
+		if w > res.Worst {
+			res.Worst = w
+		}
+	}
+	return res
+}

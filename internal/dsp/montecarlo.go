@@ -3,6 +3,7 @@ package dsp
 import (
 	"math"
 
+	"lightwave/internal/par"
 	"lightwave/internal/sim"
 )
 
@@ -23,7 +24,10 @@ type MonteCarloConfig struct {
 	// (§4.1.2: "the dominant carrier to carrier beating noise ... exhibits
 	// a unique narrow-band spectral characteristic").
 	MPIOffsetHz float64
-	// Rand supplies the randomness; nil uses a fixed seed.
+	// Rand supplies the randomness; nil uses a fixed seed. The simulation
+	// fans out over GOMAXPROCS workers internally, with each symbol shard
+	// on its own substream: results depend only on the seed, not on the
+	// worker count.
 	Rand *sim.Rand
 }
 
@@ -66,35 +70,56 @@ func (r Receiver) MonteCarloBER(rxPowerDBm float64, mpi MPICondition, cfg MonteC
 	tx := make([]uint8, cfg.Symbols)    // transmitted level index
 	rxs := make([]float64, cfg.Symbols) // received current samples
 	phase := rng.Float64() * 2 * math.Pi
-	for n := 0; n < cfg.Symbols; n++ {
-		k := uint8(rng.Intn(4))
-		tx[n] = k
-		pk := lv[k]
-		sig := resp * pk
-		// MPI beat: 2·R·sqrt(η·P_k·P_int)·cos(2πΔf·t + φ).
-		beat := 0.0
-		if pInt > 0 {
-			amp := 2 * resp * math.Sqrt(r.PolarizationOverlap*pk*pInt)
-			beat = amp * math.Cos(2*math.Pi*cfg.MPIOffsetHz*float64(n)*ts+phase)
-		}
-		// Gaussian noise: thermal + shot + RIN at this level (no MPI term —
-		// the beat is added explicitly above).
-		sigma := r.noiseSigmaA(pk, pAvg, MPICondition{MPIDB: NoMPI})
-		rxs[n] = sig + beat + sigma*rng.NormFloat64()
+	// Per-level noise sigmas are symbol-independent; precompute so shards
+	// don't redo the math per sample.
+	var sigmas [4]float64
+	for k := range sigmas {
+		sigmas[k] = r.noiseSigmaA(lv[k], pAvg, MPICondition{MPIDB: NoMPI})
 	}
+	// Waveform synthesis is the hot loop: shard the symbol range across the
+	// worker pool. Each shard draws from its own substream of the caller's
+	// generator and writes a disjoint slice of tx/rxs, so the waveform is
+	// bit-identical at any worker count.
+	seed := rng.Uint64()
+	par.MonteCarlo("dsp_mc_ber", cfg.Symbols, seed, func(sh par.Shard) struct{} {
+		srng := sh.Rng
+		for n := sh.Start; n < sh.End; n++ {
+			k := uint8(srng.Intn(4))
+			tx[n] = k
+			pk := lv[k]
+			sig := resp * pk
+			// MPI beat: 2·R·sqrt(η·P_k·P_int)·cos(2πΔf·t + φ).
+			beat := 0.0
+			if pInt > 0 {
+				amp := 2 * resp * math.Sqrt(r.PolarizationOverlap*pk*pInt)
+				beat = amp * math.Cos(2*math.Pi*cfg.MPIOffsetHz*float64(n)*ts+phase)
+			}
+			// Gaussian noise: thermal + shot + RIN at this level (no MPI
+			// term — the beat is added explicitly above).
+			rxs[n] = sig + beat + sigmas[k]*srng.NormFloat64()
+		}
+		return struct{}{}
+	})
 
 	var estHz float64
 	if mpi.OIM && pInt > 0 {
 		estHz = r.oimMitigate(rxs, lv, resp, ts)
 	}
 
-	// Slice and count.
+	// Slice and count, again sharded; per-shard error counts are merged in
+	// shard order (integer sums, so the total is exact either way).
 	thr := r.thresholds(lv)
 	errs := 0
-	for n := range rxs {
-		k := slice(rxs[n], thr)
-		diff := grayMap[tx[n]] ^ grayMap[k]
-		errs += popcount2(diff)
+	for _, e := range par.MonteCarlo("dsp_mc_slice", cfg.Symbols, seed, func(sh par.Shard) int {
+		shErrs := 0
+		for n := sh.Start; n < sh.End; n++ {
+			k := slice(rxs[n], thr)
+			diff := grayMap[tx[n]] ^ grayMap[k]
+			shErrs += popcount2(diff)
+		}
+		return shErrs
+	}) {
+		errs += e
 	}
 	bits := 2 * cfg.Symbols
 	return MonteCarloResult{

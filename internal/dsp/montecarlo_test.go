@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"lightwave/internal/par"
 	"lightwave/internal/sim"
 )
 
@@ -116,5 +117,26 @@ func TestTonePowerPeaksAtToneFrequency(t *testing.T) {
 	off := tonePower(x, f0*1.7, ts)
 	if at < 100*off {
 		t.Fatalf("tone power at f0 (%g) not dominant over off-tone (%g)", at, off)
+	}
+}
+
+func TestMonteCarloDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The parallel determinism contract: for a fixed seed the sharded
+	// waveform simulation is bit-identical at any worker count.
+	r := DefaultReceiver()
+	run := func() MonteCarloResult {
+		return r.MonteCarloBER(-10, MPICondition{MPIDB: -27, OIM: true},
+			MonteCarloConfig{Symbols: 60000, Rand: sim.NewRand(123)})
+	}
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	base := run()
+	for _, w := range []int{2, 4, 8} {
+		par.SetWorkers(w)
+		got := run()
+		if got.BitErrors != base.BitErrors || got.BER != base.BER ||
+			got.EstimatedOffsetHz != base.EstimatedOffsetHz {
+			t.Fatalf("workers=%d: %+v != %+v", w, got, base)
+		}
 	}
 }

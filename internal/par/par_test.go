@@ -1,0 +1,219 @@
+package par
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"lightwave/internal/sim"
+	"lightwave/internal/telemetry"
+)
+
+// withWorkers runs fn with the worker count pinned to n.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	fn()
+}
+
+func mcSums(trials int, seed uint64) []float64 {
+	return MonteCarlo[float64]("test_mc", trials, seed, func(sh Shard) float64 {
+		s := 0.0
+		for i := sh.Start; i < sh.End; i++ {
+			s += sh.Rng.Float64()
+		}
+		return s
+	})
+}
+
+func TestMonteCarloDeterministicAcrossWorkerCounts(t *testing.T) {
+	var base []float64
+	withWorkers(t, 1, func() { base = mcSums(10000, 42) })
+	for _, w := range []int{2, 3, 4, 8, 16} {
+		withWorkers(t, w, func() {
+			got := mcSums(10000, 42)
+			if len(got) != len(base) {
+				t.Fatalf("workers=%d: %d shards, want %d", w, len(got), len(base))
+			}
+			for i := range got {
+				if got[i] != base[i] {
+					t.Fatalf("workers=%d: shard %d = %v, want %v (not bit-identical)", w, i, got[i], base[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMonteCarloSeedSensitivity(t *testing.T) {
+	a, b := mcSums(1000, 1), mcSums(1000, 2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d of %d shard results identical across seeds", same, len(a))
+	}
+}
+
+func TestMonteCarloShardStructure(t *testing.T) {
+	shards := MonteCarlo[Shard]("test_mc", 1000, 7, func(sh Shard) Shard { return sh })
+	if len(shards) != NumShards(1000) {
+		t.Fatalf("%d shards, want %d", len(shards), NumShards(1000))
+	}
+	covered := 0
+	for i, sh := range shards {
+		if sh.Index != i || sh.Count != len(shards) {
+			t.Fatalf("shard %d mislabeled: %+v", i, sh)
+		}
+		if i > 0 && sh.Start != shards[i-1].End {
+			t.Fatalf("shard %d not contiguous: starts at %d, previous ends at %d", i, sh.Start, shards[i-1].End)
+		}
+		covered += sh.Trials()
+	}
+	if covered != 1000 || shards[0].Start != 0 || shards[len(shards)-1].End != 1000 {
+		t.Fatalf("shards cover %d trials, want 1000", covered)
+	}
+}
+
+func TestMonteCarloFewTrials(t *testing.T) {
+	// Fewer trials than shards: one shard per trial.
+	got := MonteCarlo[int]("test_mc", 3, 9, func(sh Shard) int { return sh.Trials() })
+	if len(got) != 3 {
+		t.Fatalf("%d shards for 3 trials", len(got))
+	}
+	for _, n := range got {
+		if n != 1 {
+			t.Fatalf("shard sizes = %v, want all 1", got)
+		}
+	}
+	if MonteCarlo[int]("test_mc", 0, 9, func(Shard) int { return 1 }) != nil {
+		t.Fatal("zero trials should return nil")
+	}
+}
+
+func TestSweepPreservesOrder(t *testing.T) {
+	pts := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	withWorkers(t, 4, func() {
+		got := Sweep("test_sweep", pts, func(i int, p float64) float64 { return 10 * p })
+		for i := range pts {
+			if got[i] != 10*pts[i] {
+				t.Fatalf("point %d = %v, want %v", i, got[i], 10*pts[i])
+			}
+		}
+	})
+}
+
+func TestMapCoversAllIndicesOnce(t *testing.T) {
+	const n = 5000
+	counts := make([]int32, n)
+	withWorkers(t, 8, func() {
+		Map("test_map", n, func(i int) { counts[i]++ })
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic not propagated")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	withWorkers(t, 4, func() {
+		Map("test_panic", 100, func(i int) {
+			if i == 37 {
+				panic("boom 37")
+			}
+		})
+	})
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	prev := Registry()
+	SetRegistry(reg)
+	defer SetRegistry(prev)
+
+	MonteCarlo[int]("counted", 500, 1, func(sh Shard) int { return sh.Trials() })
+	if got := reg.Counter("par_counted_trials_total").Value(); got != 500 {
+		t.Fatalf("trials counter = %d, want 500", got)
+	}
+	if got := reg.Counter("par_counted_shards_total").Value(); got != int64(NumShards(500)) {
+		t.Fatalf("shards counter = %d, want %d", got, NumShards(500))
+	}
+	if got := reg.Counter("par_counted_calls_total").Value(); got != 1 {
+		t.Fatalf("calls counter = %d, want 1", got)
+	}
+	if !strings.Contains(reg.Text(), "par_counted_trials_total 500") {
+		t.Fatal("counter missing from text exposition")
+	}
+}
+
+// TestSharedTelemetryRaceStress hammers one registry from many concurrent
+// fan-outs; `make check` runs this package under -race.
+func TestSharedTelemetryRaceStress(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	prev := Registry()
+	SetRegistry(reg)
+	defer SetRegistry(prev)
+
+	defer SetWorkers(0)
+	dist := reg.Distribution("stress_sums", 1, 10, 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			withWorkersRace(8, func() {
+				for rep := 0; rep < 10; rep++ {
+					sums := MonteCarlo[float64]("stress", 2000, uint64(g), func(sh Shard) float64 {
+						s := 0.0
+						for i := sh.Start; i < sh.End; i++ {
+							s += sh.Rng.Float64()
+						}
+						return s
+					})
+					for _, s := range sums {
+						dist.Observe(s)
+					}
+				}
+			})
+		}()
+	}
+	wg.Wait()
+	snap := dist.Snapshot()
+	if snap.N != 4*10*int64(NumShards(2000)) {
+		t.Fatalf("observed %d shard sums, want %d", snap.N, 4*10*NumShards(2000))
+	}
+	if got := reg.Counter("par_stress_trials_total").Value(); got != 4*10*2000 {
+		t.Fatalf("trials counter = %d, want %d", got, 4*10*2000)
+	}
+}
+
+// withWorkersRace avoids t.Helper bookkeeping inside goroutines.
+func withWorkersRace(n int, fn func()) {
+	// Concurrent SetWorkers calls would race on the expected value, so the
+	// stress test pins workers once per goroutine without restoring.
+	SetWorkers(n)
+	fn()
+}
+
+func TestShardRngsMatchSubstreamContract(t *testing.T) {
+	shards := MonteCarlo[uint64]("test_mc", 200, 77, func(sh Shard) uint64 { return sh.Rng.Uint64() })
+	for i, got := range shards {
+		if want := sim.Substream(77, uint64(i)).Uint64(); got != want {
+			t.Fatalf("shard %d rng not Substream(seed, %d)", i, i)
+		}
+	}
+}

@@ -14,8 +14,13 @@ import "math"
 // SplitMix64 mixing function. The zero value is a valid generator seeded
 // with zero; use NewRand to seed explicitly.
 //
-// Rand is not safe for concurrent use; call Split to derive independent
-// streams for concurrent goroutines.
+// Rand is not safe for concurrent use and must never be shared across
+// goroutines: concurrent callers would race on the state word and, worse,
+// make the draw order (and therefore every downstream result) depend on
+// the scheduler. Parallel simulations instead derive one independent
+// substream per shard with Substream, the only sanctioned way to split a
+// generator for concurrent use — substream i is a pure function of
+// (seed, i), so results stay bit-identical at any worker count.
 type Rand struct {
 	state     uint64
 	spare     float64
@@ -25,6 +30,37 @@ type Rand struct {
 // NewRand returns a generator seeded with seed.
 func NewRand(seed uint64) *Rand {
 	return &Rand{state: seed}
+}
+
+// SubstreamSeed derives the seed of substream i of a base seed by double
+// SplitMix64 finalization of the pair. Two mixing rounds decorrelate the
+// substream both from its siblings and from the parent's own output
+// sequence (a single round would make Substream(seed, 0) collide with the
+// parent's next draw).
+func SubstreamSeed(seed, i uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(i+1)
+	for round := 0; round < 2; round++ {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		z += 0x9e3779b97f4a7c15
+	}
+	return z
+}
+
+// Substream returns the i'th deterministic substream of seed. Substreams
+// with distinct indices are statistically independent of each other and of
+// the stream seeded directly with seed.
+func Substream(seed, i uint64) *Rand {
+	return NewRand(SubstreamSeed(seed, i))
+}
+
+// Substream returns the i'th substream of the receiver's current state
+// without advancing the receiver. Callers must use distinct indices:
+// calling r.Substream(0) twice without drawing from r in between yields
+// identical generators.
+func (r *Rand) Substream(i uint64) *Rand {
+	return Substream(r.state, i)
 }
 
 // Uint64 returns the next value in the stream.

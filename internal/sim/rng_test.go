@@ -175,3 +175,67 @@ func TestZeroValueRandUsable(t *testing.T) {
 		t.Fatal("zero-value Rand is not advancing")
 	}
 }
+
+func TestSubstreamDeterministic(t *testing.T) {
+	a, b := Substream(42, 7), Substream(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed, index) diverged at step %d", i)
+		}
+	}
+}
+
+func TestSubstreamsIndependent(t *testing.T) {
+	// Distinct indices, and the parent stream itself, must not collide.
+	streams := []*Rand{NewRand(42), Substream(42, 0), Substream(42, 1), Substream(42, 2)}
+	draws := make([][]uint64, len(streams))
+	for i, s := range streams {
+		for j := 0; j < 200; j++ {
+			draws[i] = append(draws[i], s.Uint64())
+		}
+	}
+	for i := 0; i < len(streams); i++ {
+		for j := i + 1; j < len(streams); j++ {
+			same := 0
+			for k := range draws[i] {
+				if draws[i][k] == draws[j][k] {
+					same++
+				}
+			}
+			if same > 0 {
+				t.Fatalf("streams %d and %d matched %d of %d draws", i, j, same, len(draws[i]))
+			}
+		}
+	}
+}
+
+func TestSubstreamDoesNotAdvanceReceiver(t *testing.T) {
+	a, b := NewRand(5), NewRand(5)
+	_ = a.Substream(3)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Substream advanced the receiver")
+	}
+}
+
+func TestSubstreamMatchesSeedForm(t *testing.T) {
+	r := NewRand(99)
+	got := r.Substream(4).Uint64()
+	want := Substream(99, 4).Uint64()
+	if got != want {
+		t.Fatal("method and package forms disagree for an unadvanced generator")
+	}
+}
+
+func TestSubstreamMeanUniform(t *testing.T) {
+	// Hash-derived seeds must still give uniform output.
+	var s Summary
+	for i := uint64(0); i < 2000; i++ {
+		r := Substream(1234, i)
+		for j := 0; j < 50; j++ {
+			s.Add(r.Float64())
+		}
+	}
+	if math.Abs(s.Mean()-0.5) > 0.01 {
+		t.Errorf("substream mean = %v, want ~0.5", s.Mean())
+	}
+}

@@ -1,0 +1,49 @@
+package lightwave_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// All simulation randomness must flow through sim.Rand so that seeds are
+// explicit and substreams are the only sanctioned way to split a stream
+// (see DESIGN.md). math/rand has a shared, lock-protected global source and
+// math/rand/v2 auto-seeds, either of which would silently break the
+// worker-count determinism contract of internal/par. This guard fails the
+// build the moment a non-test file imports them.
+func TestNoMathRandImports(t *testing.T) {
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p == "math/rand" || p == "math/rand/v2" {
+				t.Errorf("%s imports %s; use lightwave/internal/sim (sim.Rand, sim.Substream) instead", path, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

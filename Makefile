@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-par bench bench-sim experiments clean
+.PHONY: check vet build test race race-par bench bench-sim bench-dcn profile-dcn experiments clean
 
 # The gate every change must pass: vet, build everything, race-test the
 # parallel engine under contention, then race-test everything.
@@ -29,6 +29,21 @@ bench:
 # the internal/par speedup across changes.
 bench-sim:
 	$(GO) test -json -run '^$$' -bench 'Fig11b|Fig13|Fig15' -benchmem -count=5 . > BENCH_sim.json
+
+# Repeated runs of the DCN flow-simulator benchmarks in machine-readable
+# form: the end-to-end §4.2 reproduction (DCNTopologyEngineering), the
+# per-event hot loop (FlowSimEvents, MaxMinRates — the latter two must stay
+# at 0 allocs/op), and the control-plane composition path (ComposeFullPod)
+# for contrast. Run before and after any change to internal/dcn's hot paths
+# and commit BENCH_dcn.json so the perf trajectory is tracked in-repo.
+bench-dcn:
+	$(GO) test -json -run '^$$' -bench 'DCNTopologyEngineering|FlowSimEvents|MaxMinRates|ComposeFullPod' -benchmem -count=5 . ./internal/dcn > BENCH_dcn.json
+
+# CPU profile of the heaviest bench; inspect with
+# `$(GO) tool pprof dcn.test dcn.cpuprof` (live daemons expose the same
+# data on <metrics-addr>/debug/pprof/profile).
+profile-dcn:
+	$(GO) test -run '^$$' -bench 'DCNTopologyEngineering' -benchtime 5x -cpuprofile dcn.cpuprof -o dcn.test .
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -19,6 +19,7 @@ import (
 
 	"lightwave/internal/core"
 	"lightwave/internal/ctlrpc"
+	"lightwave/internal/dcn"
 	"lightwave/internal/par"
 	"lightwave/internal/telemetry"
 )
@@ -27,7 +28,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7600", "listen address")
 	cubes := flag.Int("cubes", 64, "installed elemental cubes (1-64)")
 	transceiver := flag.String("transceiver", "2x200G-bidi-CWDM4", "transceiver generation")
-	metricsAddr := flag.String("metrics-addr", "", "HTTP /metrics listen address (disabled when empty)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP /metrics and /debug/pprof listen address (disabled when empty)")
 	flag.Parse()
 
 	if err := run(*addr, *metricsAddr, *cubes, *transceiver); err != nil {
@@ -45,9 +46,11 @@ func run(addr, metricsAddr string, cubes int, transceiver string) error {
 		cfg.Transceiver = gen
 	}
 	cfg.Metrics = telemetry.NewRegistry()
-	// Any simulation work the daemon runs (Monte Carlo sizing, sweeps)
-	// reports its par_* counters alongside the fabric metrics.
+	// Any simulation work the daemon runs (Monte Carlo sizing, sweeps,
+	// flow-level DCN runs) reports its par_* and dcn_flowsim_* counters
+	// alongside the fabric metrics.
 	par.SetRegistry(cfg.Metrics)
+	dcn.SetRegistry(cfg.Metrics)
 	cfg.Alerts = telemetry.SinkFunc(func(a telemetry.Alert) {
 		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
 	})

@@ -21,6 +21,7 @@ import (
 
 	"lightwave/internal/core"
 	"lightwave/internal/ctlrpc"
+	"lightwave/internal/dcn"
 	"lightwave/internal/fleet"
 	"lightwave/internal/optics"
 	"lightwave/internal/par"
@@ -32,7 +33,7 @@ func main() {
 	pods := flag.Int("pods", 4, "number of superpod fabrics to manage")
 	cubes := flag.Int("cubes", 64, "installed elemental cubes per pod (1-64)")
 	transceiver := flag.String("transceiver", "2x200G-bidi-CWDM4", "transceiver generation")
-	metricsAddr := flag.String("metrics-addr", "", "HTTP /metrics listen address (disabled when empty)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP /metrics and /debug/pprof listen address (disabled when empty)")
 	flag.Parse()
 
 	if err := run(*addr, *metricsAddr, *pods, *cubes, *transceiver); err != nil {
@@ -75,9 +76,11 @@ func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alert
 
 func run(addr, metricsAddr string, pods, cubes int, transceiver string) error {
 	reg := telemetry.NewRegistry()
-	// Simulation fan-out (Monte Carlo, sweeps) shares the fleet registry so
-	// par_* counters show up on /metrics.
+	// Simulation fan-out (Monte Carlo, sweeps) and the DCN flow simulator
+	// share the fleet registry so par_* and dcn_flowsim_* counters show up
+	// on /metrics.
 	par.SetRegistry(reg)
+	dcn.SetRegistry(reg)
 	alerts := telemetry.SinkFunc(func(a telemetry.Alert) {
 		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
 	})

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"lightwave/internal/dcn"
 	"lightwave/internal/fleet"
 	"lightwave/internal/telemetry"
 	"lightwave/internal/topo"
@@ -98,5 +99,38 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "fleet.queue_depth") {
 		t.Fatalf("exposition missing fleet metrics:\n%s", body)
+	}
+}
+
+// TestFlowSimCountersOnMetrics mirrors run()'s dcn.SetRegistry wiring: any
+// flow-level DCN simulation the daemon performs must surface its
+// dcn_flowsim_* event-loop counters on the shared /metrics registry.
+func TestFlowSimCountersOnMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	dcn.SetRegistry(reg)
+	defer dcn.SetRegistry(nil)
+
+	top, err := dcn.UniformMesh(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dcn.Workload{Demand: dcn.UniformDemand(4, 5e9), MeanFlowBytes: 2e9, Duration: 2}
+	if _, err := dcn.Simulate(top, w, dcn.DefaultSimConfig()); err != nil {
+		t.Fatal(err)
+	}
+
+	text := reg.Text()
+	for _, name := range []string{
+		"dcn_flowsim_runs_total",
+		"dcn_flowsim_events_total",
+		"dcn_flowsim_recompute_rounds_total",
+		"dcn_flowsim_pool_hits_total",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("exposition missing %s:\n%s", name, text)
+		}
+	}
+	if reg.Counter("dcn_flowsim_events_total").Value() == 0 {
+		t.Error("dcn_flowsim_events_total stayed zero across a simulation run")
 	}
 }

@@ -15,6 +15,14 @@ import (
 // bytes drain. The engineered topology's advantage — capacity where the
 // demand is — shows up as lower flow completion times and higher achieved
 // throughput.
+//
+// The event loop is built for speed without sacrificing reproducibility:
+// arrivals live in an index-tie-broken binary min-heap, all per-link state
+// is kept in flat []float64 / slice arrays indexed by src*n+dst and reused
+// across events via epoch stamping, and flow structs are pooled. Every
+// tie-break and floating-point accumulation order matches the original
+// linear-scan/map implementation, so results are bit-identical (see
+// golden_test.go for the pinned contract).
 
 // Workload describes the offered traffic.
 type Workload struct {
@@ -61,8 +69,11 @@ type SimResult struct {
 }
 
 type flow struct {
-	src, dst  int
-	hops      [][2]int // directed links used
+	src, dst int
+	// hopIdx[:nhops] are the directed links used, as flat src*n+dst
+	// indices (one hop for direct, two for transit).
+	hopIdx    [2]int
+	nhops     int
 	size      float64
 	remaining float64
 	started   float64
@@ -81,208 +92,360 @@ var ErrMismatch = errors.New("dcn: workload does not match topology")
 // and no two-hop transit — the zero-capacity-trunk case).
 var ErrDegenerate = errors.New("dcn: degenerate simulation input")
 
-// Simulate runs the flow-level simulation of the workload on the topology.
-func Simulate(t *Topology, w Workload, cfg SimConfig) (SimResult, error) {
+// simEngine holds one simulation run's entire state. All scratch is
+// allocated once in newSimEngine and reused event-to-event, so the loop
+// itself runs allocation-free in steady state (the fcts slice and pooled
+// per-link flow lists grow amortized-O(1) until they reach the run's high
+// water mark).
+type simEngine struct {
+	top   *Topology
+	n     int
+	w     Workload
+	cfg   SimConfig
+	trunk float64
+	rng   *sim.Rand
+
+	pairs []pairRate
+
+	// Arrival calendar: next[k] is pair k's next arrival time, and heap
+	// holds pair indices ordered by (next[k], k). The index tie-break
+	// reproduces the original linear scan's lowest-index-wins rule.
+	next []float64
+	heap []int32
+
+	// Flat per-directed-link state, indexed src*n+dst.
+	load        []float64 // current flow count per link
+	linkCapBase []float64 // float64(Links[i][j]) * TrunkBps
+
+	active []*flow
+	free   []*flow // pooled flow structs of completed flows
+
+	// Max-min fair-share scratch, epoch-stamped so a recompute touches
+	// only the links the active flows actually use and never re-zeroes
+	// the full n×n arrays.
+	epoch        uint64
+	linkEpoch    []uint64
+	linkCapacity []float64
+	linkFlows    [][]*flow
+	linkUnfrozen []int
+	order        []int // links in first-touch order
+
+	now            float64
+	fcts           []float64
+	completedBytes float64
+	transit, total int
+
+	// Telemetry accumulators, flushed to the package registry once per
+	// run (per-event atomics would dominate the loop).
+	events, arrivals, completions, recomputeRounds, poolHits, poolMisses int64
+}
+
+// newSimEngine validates the inputs and allocates the run's state. The
+// returned engine is positioned at t=0 with the first arrival of every
+// pair already scheduled.
+func newSimEngine(t *Topology, w Workload, cfg SimConfig) (*simEngine, error) {
 	n := t.Blocks
 	if len(w.Demand) != n {
-		return SimResult{}, fmt.Errorf("%w: demand %d blocks, topology %d", ErrMismatch, len(w.Demand), n)
+		return nil, fmt.Errorf("%w: demand %d blocks, topology %d", ErrMismatch, len(w.Demand), n)
 	}
 	if err := t.Validate(); err != nil {
-		return SimResult{}, err
+		return nil, err
 	}
 	if cfg.TrunkBps <= 0 {
-		return SimResult{}, fmt.Errorf("%w: trunk rate %g B/s", ErrDegenerate, cfg.TrunkBps)
+		return nil, fmt.Errorf("%w: trunk rate %g B/s", ErrDegenerate, cfg.TrunkBps)
 	}
 	if w.MeanFlowBytes <= 0 {
-		return SimResult{}, fmt.Errorf("%w: mean flow size %g bytes", ErrDegenerate, w.MeanFlowBytes)
+		return nil, fmt.Errorf("%w: mean flow size %g bytes", ErrDegenerate, w.MeanFlowBytes)
 	}
 	if w.Duration <= 0 {
-		return SimResult{}, fmt.Errorf("%w: duration %g s", ErrDegenerate, w.Duration)
+		return nil, fmt.Errorf("%w: duration %g s", ErrDegenerate, w.Duration)
 	}
-	rng := sim.NewRand(cfg.Seed)
+	pairs, err := demandPairs(t, w)
+	if err != nil {
+		return nil, err
+	}
 
-	// Pre-compute arrival rates per pair, validating the demand matrix as
-	// we go: every demanded pair must have a usable path, or its flows
-	// would be assigned a zero-capacity direct hop and never drain.
-	type pair struct{ i, j int }
-	var pairs []pair
-	var rates []float64
+	s := &simEngine{
+		top:   t,
+		n:     n,
+		w:     w,
+		cfg:   cfg,
+		trunk: cfg.TrunkBps,
+		pairs: pairs,
+		next:  make([]float64, len(pairs)),
+		heap:  make([]int32, len(pairs)),
+
+		load:        make([]float64, n*n),
+		linkCapBase: make([]float64, n*n),
+
+		linkEpoch:    make([]uint64, n*n),
+		linkCapacity: make([]float64, n*n),
+		linkFlows:    make([][]*flow, n*n),
+		linkUnfrozen: make([]int, n*n),
+	}
 	for i := 0; i < n; i++ {
-		if len(w.Demand[i]) != n {
-			return SimResult{}, fmt.Errorf("%w: demand row %d has %d entries, topology %d", ErrMismatch, i, len(w.Demand[i]), n)
-		}
 		for j := 0; j < n; j++ {
-			d := w.Demand[i][j]
-			if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
-				return SimResult{}, fmt.Errorf("%w: demand[%d][%d] = %g", ErrDegenerate, i, j, d)
-			}
-			if i != j && d > 0 {
-				if !routable(t, i, j) {
-					return SimResult{}, fmt.Errorf("%w: demand on pair (%d,%d) with no direct trunk or two-hop path", ErrDegenerate, i, j)
-				}
-				pairs = append(pairs, pair{i, j})
-				rates = append(rates, d/w.MeanFlowBytes)
-			}
+			s.linkCapBase[i*n+j] = float64(t.Links[i][j]) * cfg.TrunkBps
 		}
 	}
-	if len(pairs) == 0 {
-		return SimResult{}, fmt.Errorf("%w: empty demand", ErrDegenerate)
+	s.reset()
+	return s, nil
+}
+
+// reset rewinds the engine to t=0 with a fresh arrival process from
+// cfg.Seed, returning all in-flight flows to the pool. All scratch arrays
+// are retained, so a reset engine replays the run without allocating.
+func (s *simEngine) reset() {
+	s.rng = sim.NewRand(s.cfg.Seed)
+	for k := range s.pairs {
+		s.next[k] = s.rng.ExpFloat64() / s.pairs[k].rate
+		s.heap[k] = int32(k)
 	}
-
-	cap := func(i, j int) float64 { return float64(t.Links[i][j]) * cfg.TrunkBps }
-	load := make(map[[2]int]float64) // current flow count per directed link
-
-	// The active set is an ordered slice, NOT a map: iteration order feeds
-	// tie-breaking (earliest completion, bottleneck selection) and the
-	// floating-point accumulation order of the fair-share recompute, so
-	// randomized map iteration would make results differ run-to-run.
-	var active []*flow
-	removeActive := func(f *flow) {
-		last := len(active) - 1
-		active[f.idx] = active[last]
-		active[f.idx].idx = f.idx
-		active = active[:last]
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
 	}
-	var fcts []float64
-	completedBytes := 0.0
-	transit, total := 0, 0
-
-	// Next arrival per pair (exponential interarrivals).
-	next := make([]float64, len(pairs))
-	for k := range next {
-		next[k] = rng.ExpFloat64() / rates[k]
+	s.free = append(s.free, s.active...)
+	s.active = s.active[:0]
+	for i := range s.load {
+		s.load[i] = 0
 	}
+	s.now = 0
+	s.fcts = s.fcts[:0]
+	s.completedBytes = 0
+	s.transit, s.total = 0, 0
+}
 
-	now := 0.0
-	recompute := func() {
-		maxMinRates(active, cap, cfg.TrunkBps)
+// arrivalLess orders pairs by (next arrival time, pair index): among
+// simultaneous arrivals the lowest pair index wins, exactly like the
+// original first-minimum linear scan over next[].
+func (s *simEngine) arrivalLess(a, b int32) bool {
+	ta, tb := s.next[a], s.next[b]
+	return ta < tb || (ta == tb && a < b)
+}
+
+// siftDown restores the heap property below slot i. It is the only heap
+// primitive the loop needs: an arrival only ever reschedules the root
+// (its new time is strictly later), and no other slot's key changes.
+func (s *simEngine) siftDown(i int) {
+	h := s.heap
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && s.arrivalLess(h[r], h[l]) {
+			m = r
+		}
+		if !s.arrivalLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
 	}
+}
 
-	for now < w.Duration {
-		// Earliest next event: arrival or completion.
-		tNext := math.Inf(1)
-		kNext := -1
-		for k, at := range next {
-			if at < tNext {
-				tNext, kNext = at, k
-			}
-		}
-		var fDone *flow
-		for _, f := range active {
-			if f.rate <= 0 {
-				continue
-			}
-			done := now + f.remaining/f.rate
-			if done < tNext {
-				tNext, kNext, fDone = done, -1, f
-			}
-		}
-		if tNext > w.Duration {
-			break
-		}
-		// Drain all active flows to tNext.
-		dt := tNext - now
-		for _, f := range active {
-			f.remaining -= f.rate * dt
-			if f.remaining < 0 {
-				f.remaining = 0
-			}
-		}
-		now = tNext
+func (s *simEngine) getFlow() *flow {
+	if n := len(s.free); n > 0 {
+		f := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.poolHits++
+		*f = flow{}
+		return f
+	}
+	s.poolMisses++
+	return &flow{}
+}
 
-		if fDone != nil {
-			fcts = append(fcts, now-fDone.started)
-			completedBytes += fDone.size
-			for _, h := range fDone.hops {
-				load[h]--
-			}
-			removeActive(fDone)
-			recompute()
+func (s *simEngine) removeActive(f *flow) {
+	last := len(s.active) - 1
+	s.active[f.idx] = s.active[last]
+	s.active[f.idx].idx = f.idx
+	s.active = s.active[:last]
+}
+
+// step advances the simulation by one event (arrival or completion) and
+// reports whether the run continues: false once the horizon is reached.
+func (s *simEngine) step() bool {
+	if s.now >= s.w.Duration {
+		return false
+	}
+	// Earliest next event: the heap root is the earliest arrival; a
+	// completion preempts it only when strictly earlier, and the earliest-
+	// index active flow wins completion ties, as in the original scan.
+	kNext := int(s.heap[0])
+	tNext := s.next[kNext]
+	var fDone *flow
+	for _, f := range s.active {
+		if f.rate <= 0 {
 			continue
 		}
+		done := s.now + f.remaining/f.rate
+		if done < tNext {
+			tNext, kNext, fDone = done, -1, f
+		}
+	}
+	if tNext > s.w.Duration {
+		return false
+	}
+	// Drain all active flows to tNext.
+	dt := tNext - s.now
+	for _, f := range s.active {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	s.now = tNext
+	s.events++
 
-		// Arrival on pair kNext.
-		p := pairs[kNext]
-		next[kNext] = now + rng.ExpFloat64()/rates[kNext]
-		f := &flow{src: p.i, dst: p.j, started: now}
-		f.size = rng.ExpFloat64() * w.MeanFlowBytes
-		f.remaining = f.size
-		f.hops = choosePath(t, p.i, p.j, load, cfg, rng)
-		total++
-		if len(f.hops) == 2 {
-			transit++
+	if fDone != nil {
+		s.completions++
+		s.fcts = append(s.fcts, s.now-fDone.started)
+		s.completedBytes += fDone.size
+		for h := 0; h < fDone.nhops; h++ {
+			s.load[fDone.hopIdx[h]]--
 		}
-		for _, h := range f.hops {
-			load[h]++
-		}
-		f.idx = len(active)
-		active = append(active, f)
-		recompute()
+		s.removeActive(fDone)
+		s.free = append(s.free, fDone)
+		s.maxMinRates()
+		return true
 	}
 
+	// Arrival on pair kNext: reschedule the pair (its new draw is later
+	// than now, so the root only ever sifts down) and admit the flow.
+	s.arrivals++
+	p := s.pairs[kNext]
+	s.next[kNext] = s.now + s.rng.ExpFloat64()/p.rate
+	s.siftDown(0)
+	f := s.getFlow()
+	f.src, f.dst, f.started = p.i, p.j, s.now
+	f.size = s.rng.ExpFloat64() * s.w.MeanFlowBytes
+	f.remaining = f.size
+	via, transit := s.choosePath(p.i, p.j)
+	if transit {
+		f.nhops = 2
+		f.hopIdx[0] = p.i*s.n + via
+		f.hopIdx[1] = via*s.n + p.j
+	} else {
+		f.nhops = 1
+		f.hopIdx[0] = p.i*s.n + p.j
+	}
+	s.total++
+	if transit {
+		s.transit++
+	}
+	for h := 0; h < f.nhops; h++ {
+		s.load[f.hopIdx[h]]++
+	}
+	f.idx = len(s.active)
+	s.active = append(s.active, f)
+	s.maxMinRates()
+	return true
+}
+
+func (s *simEngine) result() SimResult {
 	var res SimResult
-	res.CompletedFlows = len(fcts)
-	res.TransitFraction = 0
-	if total > 0 {
-		res.TransitFraction = float64(transit) / float64(total)
+	res.CompletedFlows = len(s.fcts)
+	if s.total > 0 {
+		res.TransitFraction = float64(s.transit) / float64(s.total)
 	}
-	if len(fcts) > 0 {
-		res.MeanFCT = sim.Mean(fcts)
-		res.MedianFCT = sim.Percentile(fcts, 50)
-		res.P99FCT = sim.Percentile(fcts, 99)
+	if len(s.fcts) > 0 {
+		res.MeanFCT = sim.Mean(s.fcts)
+		res.MedianFCT = sim.Percentile(s.fcts, 50)
+		res.P99FCT = sim.Percentile(s.fcts, 99)
 	}
-	res.ThroughputBps = completedBytes / w.Duration
-	return res, nil
+	res.ThroughputBps = s.completedBytes / s.w.Duration
+	return res
+}
+
+// flushMetrics publishes the run's accumulated counters to the package
+// registry (dcn_flowsim_*) and zeroes the accumulators.
+func (s *simEngine) flushMetrics() {
+	reg := Registry()
+	reg.Counter("dcn_flowsim_runs_total").Inc()
+	reg.Counter("dcn_flowsim_events_total").Add(s.events)
+	reg.Counter("dcn_flowsim_arrivals_total").Add(s.arrivals)
+	reg.Counter("dcn_flowsim_completions_total").Add(s.completions)
+	reg.Counter("dcn_flowsim_recompute_rounds_total").Add(s.recomputeRounds)
+	reg.Counter("dcn_flowsim_pool_hits_total").Add(s.poolHits)
+	reg.Counter("dcn_flowsim_pool_misses_total").Add(s.poolMisses)
+	s.events, s.arrivals, s.completions = 0, 0, 0
+	s.recomputeRounds, s.poolHits, s.poolMisses = 0, 0, 0
+}
+
+// Simulate runs the flow-level simulation of the workload on the topology.
+func Simulate(t *Topology, w Workload, cfg SimConfig) (SimResult, error) {
+	s, err := newSimEngine(t, w, cfg)
+	if err != nil {
+		return SimResult{}, err
+	}
+	for s.step() {
+	}
+	s.flushMetrics()
+	return s.result(), nil
 }
 
 // choosePath picks the direct path when a trunk exists and is not badly
 // overloaded relative to the best two-hop alternative; otherwise the least-
-// loaded two-hop path.
-func choosePath(t *Topology, src, dst int, load map[[2]int]float64, cfg SimConfig, rng *sim.Rand) [][2]int {
-	direct := [][2]int{{src, dst}}
+// loaded two-hop path. It returns the transit block and true for a two-hop
+// path, or (-1, false) for the direct trunk.
+func (s *simEngine) choosePath(src, dst int) (int, bool) {
+	links := s.top.Links
 	directScore := math.Inf(1)
-	if t.Links[src][dst] > 0 {
-		directScore = (load[[2]int{src, dst}] + 1) / float64(t.Links[src][dst])
+	if links[src][dst] > 0 {
+		directScore = (s.load[src*s.n+dst] + 1) / float64(links[src][dst])
 	}
 	bestVia, bestScore := -1, math.Inf(1)
-	for k := 0; k < cfg.MaxTransit; k++ {
-		via := rng.Intn(t.Blocks)
-		if via == src || via == dst || t.Links[src][via] == 0 || t.Links[via][dst] == 0 {
+	for k := 0; k < s.cfg.MaxTransit; k++ {
+		via := s.rng.Intn(s.n)
+		sc, ok := s.transitScore(src, dst, via)
+		if !ok {
 			continue
 		}
-		s1 := (load[[2]int{src, via}] + 1) / float64(t.Links[src][via])
-		s2 := (load[[2]int{via, dst}] + 1) / float64(t.Links[via][dst])
-		s := math.Max(s1, s2) * 1.15 // transit uses twice the fabric capacity; bias to direct
-		if s < bestScore {
-			bestScore, bestVia = s, via
+		sc *= 1.15 // transit uses twice the fabric capacity; bias to direct
+		if sc < bestScore {
+			bestScore, bestVia = sc, via
 		}
 	}
 	if bestVia >= 0 && bestScore < directScore {
-		return [][2]int{{src, bestVia}, {bestVia, dst}}
+		return bestVia, true
 	}
-	if t.Links[src][dst] == 0 {
+	if links[src][dst] == 0 {
 		if bestVia >= 0 {
-			return [][2]int{{src, bestVia}, {bestVia, dst}}
+			return bestVia, true
 		}
 		// The random probes all missed. A direct "path" here would ride a
 		// zero-capacity trunk and never drain, so fall back to a
-		// deterministic scan for the least-loaded transit; Simulate's
+		// deterministic scan for the least-loaded transit; the demandPairs
 		// routability validation guarantees one exists.
-		for via := 0; via < t.Blocks; via++ {
-			if via == src || via == dst || t.Links[src][via] == 0 || t.Links[via][dst] == 0 {
+		for via := 0; via < s.n; via++ {
+			sc, ok := s.transitScore(src, dst, via)
+			if !ok {
 				continue
 			}
-			s1 := (load[[2]int{src, via}] + 1) / float64(t.Links[src][via])
-			s2 := (load[[2]int{via, dst}] + 1) / float64(t.Links[via][dst])
-			if s := math.Max(s1, s2); s < bestScore {
-				bestScore, bestVia = s, via
+			if sc < bestScore {
+				bestScore, bestVia = sc, via
 			}
 		}
 		if bestVia >= 0 {
-			return [][2]int{{src, bestVia}, {bestVia, dst}}
+			return bestVia, true
 		}
 	}
-	return direct
+	return -1, false
+}
+
+// transitScore scores the two-hop path src→via→dst as the worse of its two
+// per-hop load ratios (lower is better). ok is false when via is unusable:
+// it coincides with an endpoint or lacks a trunk on either hop.
+func (s *simEngine) transitScore(src, dst, via int) (score float64, ok bool) {
+	links := s.top.Links
+	if via == src || via == dst || links[src][via] == 0 || links[via][dst] == 0 {
+		return 0, false
+	}
+	s1 := (s.load[src*s.n+via] + 1) / float64(links[src][via])
+	s2 := (s.load[via*s.n+dst] + 1) / float64(links[via][dst])
+	return math.Max(s1, s2), true
 }
 
 // routable reports whether the pair (i, j) has a direct trunk or at least
@@ -302,76 +465,76 @@ func routable(t *Topology, i, j int) bool {
 // maxMinRates computes max-min fair rates by progressive filling. active
 // is iterated in order, and link states are visited in first-touch order,
 // so bottleneck tie-breaking and the floating-point accumulation order —
-// and therefore the computed rates — are identical run-to-run (maps would
-// randomize both).
-func maxMinRates(active []*flow, capFn func(i, j int) float64, trunk float64) {
-	type linkState struct {
-		capacity float64
-		flows    []*flow
-	}
-	links := map[[2]int]*linkState{}
-	var order []*linkState // first-touch order; map iteration is randomized
-	for _, f := range active {
+// and therefore the computed rates — are identical run-to-run and to the
+// historical map-based implementation. Epoch stamping means only links the
+// active flows touch are (re)initialized, and the per-link unfrozen-flow
+// counts are maintained incrementally as flows freeze instead of being
+// recounted every bottleneck round; the recompute allocates nothing once
+// the per-link flow lists have reached their high-water length.
+func (s *simEngine) maxMinRates() {
+	s.epoch++
+	s.order = s.order[:0]
+	for _, f := range s.active {
 		f.rate = -1
-		for _, h := range f.hops {
-			ls := links[h]
-			if ls == nil {
-				ls = &linkState{capacity: capFn(h[0], h[1])}
-				links[h] = ls
-				order = append(order, ls)
+		for h := 0; h < f.nhops; h++ {
+			li := f.hopIdx[h]
+			if s.linkEpoch[li] != s.epoch {
+				s.linkEpoch[li] = s.epoch
+				s.linkCapacity[li] = s.linkCapBase[li]
+				s.linkFlows[li] = s.linkFlows[li][:0]
+				s.linkUnfrozen[li] = 0
+				s.order = append(s.order, li)
 			}
-			ls.flows = append(ls.flows, f)
+			s.linkFlows[li] = append(s.linkFlows[li], f)
+			s.linkUnfrozen[li]++
 		}
 	}
-	unfrozen := len(active)
+	unfrozen := len(s.active)
 	for unfrozen > 0 {
+		s.recomputeRounds++
 		// Find the bottleneck link: minimum fair share among links with
-		// unfrozen flows.
-		var bottleneck *linkState
+		// unfrozen flows, first-touch order breaking ties.
+		bottleneck := -1
 		share := math.Inf(1)
-		for _, ls := range order {
-			nUnfrozen := 0
-			for _, f := range ls.flows {
-				if f.rate < 0 {
-					nUnfrozen++
-				}
-			}
-			if nUnfrozen == 0 {
+		for _, li := range s.order {
+			c := s.linkUnfrozen[li]
+			if c == 0 {
 				continue
 			}
-			s := ls.capacity / float64(nUnfrozen)
-			if s < share {
-				share, bottleneck = s, ls
+			if sh := s.linkCapacity[li] / float64(c); sh < share {
+				share, bottleneck = sh, li
 			}
 		}
-		if bottleneck == nil {
+		if bottleneck < 0 {
 			// Remaining flows are unconstrained (shouldn't happen: every
 			// flow crosses at least one link); cap at trunk rate.
-			for _, f := range active {
+			for _, f := range s.active {
 				if f.rate < 0 {
-					f.rate = trunk
+					f.rate = s.trunk
 					unfrozen--
 				}
 			}
 			break
 		}
-		for _, f := range bottleneck.flows {
+		for _, f := range s.linkFlows[bottleneck] {
 			if f.rate >= 0 {
 				continue
 			}
 			// A single flow rides one physical trunk (ECMP hashing), so its
 			// rate is capped at the trunk rate even on multi-trunk pairs.
 			rate := share
-			if rate > trunk {
-				rate = trunk
+			if rate > s.trunk {
+				rate = s.trunk
 			}
 			f.rate = rate
 			unfrozen--
-			for _, h := range f.hops {
-				links[h].capacity -= rate
-				if links[h].capacity < 0 {
-					links[h].capacity = 0
+			for h := 0; h < f.nhops; h++ {
+				li := f.hopIdx[h]
+				s.linkCapacity[li] -= rate
+				if s.linkCapacity[li] < 0 {
+					s.linkCapacity[li] = 0
 				}
+				s.linkUnfrozen[li]--
 			}
 		}
 	}

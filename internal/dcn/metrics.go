@@ -1,0 +1,37 @@
+package dcn
+
+import (
+	"sync/atomic"
+
+	"lightwave/internal/telemetry"
+)
+
+// The flow simulator reports its event-loop counters — events, arrivals,
+// completions, max-min recompute rounds, flow-pool hits/misses — under
+// dcn_flowsim_* in a telemetry.Registry, mirroring internal/par's par_*
+// counters. Counters are accumulated locally inside a run and flushed once
+// at the end, so the hot loop never touches an atomic.
+
+// registry holds the simulator's metrics; swap it with SetRegistry to
+// surface the counters on a daemon's /metrics endpoint.
+var registry atomic.Pointer[telemetry.Registry]
+
+func init() {
+	registry.Store(telemetry.NewRegistry())
+}
+
+// SetRegistry redirects the simulator's telemetry to r (nil restores a
+// fresh private registry). Daemons call this once at startup so
+// dcn_flowsim_* counters appear alongside their other metrics.
+func SetRegistry(r *telemetry.Registry) {
+	if r == nil {
+		r = telemetry.NewRegistry()
+	}
+	registry.Store(r)
+}
+
+// Registry returns the registry currently receiving the simulator's
+// metrics.
+func Registry() *telemetry.Registry {
+	return registry.Load()
+}

@@ -18,7 +18,8 @@ type LoadPoint struct {
 // the worker pool while each point's event loop stays sequential; point i
 // uses seed substream (cfg.Seed, i), so the sweep is deterministic at any
 // worker count and inserting a point never perturbs the others' arrival
-// processes.
+// processes. The per-point results are additionally pinned bit-for-bit by
+// the golden contract of golden_test.go (DESIGN.md §9).
 func LoadSweep(t *Topology, uplinks int, demand [][]float64, w Workload, cfg SimConfig, loads []float64) ([]LoadPoint, error) {
 	type out struct {
 		res SimResult

@@ -1,9 +1,50 @@
 package dcn
 
 import (
+	"fmt"
+	"math"
+
 	"lightwave/internal/par"
 	"lightwave/internal/sim"
 )
+
+// pairRate is one demanded (src, dst) block pair and its flow arrival rate
+// (demand over mean flow size, in flows/s).
+type pairRate struct {
+	i, j int
+	rate float64
+}
+
+// demandPairs extracts the demanded block pairs from the workload,
+// validating the demand matrix as it goes: rows must match the topology,
+// entries must be finite and non-negative, at least one pair must carry
+// demand, and every demanded pair must have a usable path — otherwise its
+// flows would be assigned a zero-capacity direct hop and never drain.
+func demandPairs(t *Topology, w Workload) ([]pairRate, error) {
+	n := t.Blocks
+	var pairs []pairRate
+	for i := 0; i < n; i++ {
+		if len(w.Demand[i]) != n {
+			return nil, fmt.Errorf("%w: demand row %d has %d entries, topology %d", ErrMismatch, i, len(w.Demand[i]), n)
+		}
+		for j := 0; j < n; j++ {
+			d := w.Demand[i][j]
+			if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+				return nil, fmt.Errorf("%w: demand[%d][%d] = %g", ErrDegenerate, i, j, d)
+			}
+			if i != j && d > 0 {
+				if !routable(t, i, j) {
+					return nil, fmt.Errorf("%w: demand on pair (%d,%d) with no direct trunk or two-hop path", ErrDegenerate, i, j)
+				}
+				pairs = append(pairs, pairRate{i: i, j: j, rate: d / w.MeanFlowBytes})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("%w: empty demand", ErrDegenerate)
+	}
+	return pairs, nil
+}
 
 // SkewedDemand generates the long-lived, skewed traffic matrix the DCN
 // topology-engineering evaluation uses: a uniform background plus a few hot

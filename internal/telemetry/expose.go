@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 )
@@ -82,6 +83,12 @@ func (r *Registry) Handler() http.Handler {
 // ServeMetrics binds addr and serves the registry on /metrics until ctx is
 // cancelled. It returns the bound listener so callers learn the resolved
 // port; the server shuts down in the background on cancellation.
+//
+// The same listener doubles as the debug mux: the standard net/http/pprof
+// handlers are mounted under /debug/pprof/, so CPU and heap profiles of
+// the simulation hot paths (dcn flow simulator, par fan-outs) are only
+// exposed when the operator opted into the metrics port in the first
+// place.
 func (r *Registry) ServeMetrics(ctx context.Context, addr string) (net.Listener, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -89,6 +96,11 @@ func (r *Registry) ServeMetrics(ctx context.Context, addr string) (net.Listener,
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
 	go func() {
 		<-ctx.Done()

@@ -1,7 +1,10 @@
 package telemetry
 
 import (
+	"context"
+	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -275,5 +278,32 @@ func TestHandlerServesExposition(t *testing.T) {
 	body := rec.Body.String()
 	if !strings.Contains(body, "reconfigs 7\n") || !strings.Contains(body, "queue_depth 3\n") {
 		t.Fatalf("body:\n%s", body)
+	}
+}
+
+// TestServeMetricsMountsPprof verifies the debug listener serves both the
+// exposition and the pprof handlers: the profiling endpoints must only
+// exist behind the opt-in metrics port, and must actually be there when it
+// is enabled (the profile-dcn workflow depends on them for live daemons).
+func TestServeMetricsMountsPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reconfigs").Add(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lis, err := r.ServeMetrics(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + lis.Addr().String()
+	for _, path := range []string{"/metrics", "/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d, body %q", path, resp.StatusCode, body)
+		}
 	}
 }

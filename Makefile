@@ -1,13 +1,18 @@
 GO ?= go
 
-.PHONY: check vet build test race race-par bench bench-sim bench-dcn profile-dcn experiments clean
+.PHONY: check vet build test race race-par race-te bench bench-sim bench-dcn bench-te profile-dcn experiments clean
 
 # The gate every change must pass: vet, build everything, race-test the
-# parallel engine under contention, then race-test everything.
-check: vet build race-par race
+# parallel engine under contention, race-test the TE loop (its Loop is
+# shared between the runner goroutine and status serving), then race-test
+# everything.
+check: vet build race-par race-te race
 
 race-par:
 	$(GO) test -race ./internal/par/...
+
+race-te:
+	$(GO) test -race ./internal/te/...
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +43,13 @@ bench-sim:
 # and commit BENCH_dcn.json so the perf trajectory is tracked in-repo.
 bench-dcn:
 	$(GO) test -json -run '^$$' -bench 'DCNTopologyEngineering|FlowSimEvents|MaxMinRates|ComposeFullPod' -benchmem -count=5 . ./internal/dcn > BENCH_dcn.json
+
+# Repeated runs of the TE-loop hot paths in machine-readable form: the
+# per-epoch predictor update and the full planner decision (engineer +
+# two fluid solves + staging). Commit BENCH_te.json so the decision
+# latency trajectory is tracked in-repo.
+bench-te:
+	$(GO) test -json -run '^$$' -bench 'PredictorUpdate|PlannerDecide' -benchmem -count=5 ./internal/te > BENCH_te.json
 
 # CPU profile of the heaviest bench; inspect with
 # `$(GO) tool pprof dcn.test dcn.cpuprof` (live daemons expose the same

@@ -46,6 +46,7 @@ func main() {
 		{"scaleout", "multi-pod hybrid ICI-DCN training", scaleoutExperiment},
 		{"refresh", "in-service technology refresh trajectory", refreshExperiment},
 		{"campus", "campus fabric with shifting services", campusExperiment},
+		{"te", "online traffic-aware topology engineering loop", teExperiment},
 	}
 
 	if *list {

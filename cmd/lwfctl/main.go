@@ -11,6 +11,7 @@
 //	lwfctl repair-cube <cube>
 //	lwfctl install-cube <cube>
 //	lwfctl observe-ber <ocs> <port> <ber>
+//	lwfctl te status
 //	lwfctl fleet status
 //	lwfctl fleet apply <pod> <name> <XxYxZ> [cube,cube,...]
 //	lwfctl fleet remove <pod> <name>
@@ -67,6 +68,7 @@ commands:
   observe-ber <ocs> <port> <ber>
   repair-link <ocs> <cube>
   metrics
+  te status
 fleet commands (against lwfleetd):
   fleet status
   fleet apply <pod> <name> <XxYxZ> [cube,cube,...]
@@ -204,6 +206,17 @@ func dispatch(c *ctlrpc.Client, args []string) error {
 		fmt.Print(text)
 		return nil
 
+	case "te":
+		if len(args) != 2 || args[1] != "status" {
+			return fmt.Errorf("te needs the status subcommand")
+		}
+		st, err := c.TEStatus()
+		if err != nil {
+			return err
+		}
+		printTEStatus(st)
+		return nil
+
 	case "fleet":
 		if len(args) < 2 {
 			return fmt.Errorf("fleet needs a subcommand")
@@ -276,6 +289,25 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+func printTEStatus(st ctlrpc.TEStatusResult) {
+	if !st.Enabled {
+		fmt.Println("te loop: disabled (start the daemon with -te-epoch)")
+		return
+	}
+	fmt.Printf("te loop:        %d blocks x %d uplinks, %d trunks live\n",
+		st.Blocks, st.Uplinks, st.CurrentTrunks)
+	fmt.Printf("epochs:         %d (last reconfig at epoch %d)\n", st.Epoch, st.LastReconfigEpoch)
+	fmt.Printf("reconfigs:      %d applied (%d stages, %d trunks moved), %d held\n",
+		st.Reconfigs, st.Stages, st.TrunksMoved, st.SkippedReconfigs)
+	fmt.Printf("last decision:  %s\n", st.LastReason)
+	fmt.Printf("last gain:      %.3f\n", st.LastGain)
+	if st.LastPredictionError >= 0 {
+		fmt.Printf("pred error:     %.3f\n", st.LastPredictionError)
+	}
+	fmt.Printf("min residual:   %.3f of capacity\n", st.MinResidualFraction)
+	fmt.Printf("drained:        %.3g bps-seconds\n", st.DrainedCapacityBpsSeconds)
 }
 
 func printSlice(sl ctlrpc.SliceResult) {

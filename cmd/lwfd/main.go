@@ -2,9 +2,14 @@
 // fabric (48 Palomar OCSes plus the cube inventory) and serves the ctlrpc
 // control protocol on a TCP address for cmd/lwfctl and other tooling.
 //
+// It can additionally run the online topology-engineering loop
+// (internal/te) over a simulated DCN fabric, reprogramming inter-block
+// trunks as the synthetic offered load shifts; -te-epoch enables it and
+// `lwfctl te status` inspects it.
+//
 // Usage:
 //
-//	lwfd -addr 127.0.0.1:7600 -cubes 64 [-metrics-addr 127.0.0.1:7680]
+//	lwfd -addr 127.0.0.1:7600 -cubes 64 [-metrics-addr 127.0.0.1:7680] [-te-epoch 2s]
 package main
 
 import (
@@ -16,11 +21,14 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"lightwave/internal/core"
 	"lightwave/internal/ctlrpc"
 	"lightwave/internal/dcn"
+	"lightwave/internal/ocs"
 	"lightwave/internal/par"
+	"lightwave/internal/te"
 	"lightwave/internal/telemetry"
 )
 
@@ -29,14 +37,52 @@ func main() {
 	cubes := flag.Int("cubes", 64, "installed elemental cubes (1-64)")
 	transceiver := flag.String("transceiver", "2x200G-bidi-CWDM4", "transceiver generation")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP /metrics and /debug/pprof listen address (disabled when empty)")
+	teEpoch := flag.Duration("te-epoch", 0, "topology-engineering epoch length (0 disables the TE loop)")
+	teBlocks := flag.Int("te-blocks", 8, "aggregation blocks in the TE loop's DCN fabric")
+	teUplinks := flag.Int("te-uplinks", 14, "uplinks per block in the TE loop's DCN fabric")
 	flag.Parse()
 
-	if err := run(*addr, *metricsAddr, *cubes, *transceiver); err != nil {
+	if err := run(*addr, *metricsAddr, *cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, metricsAddr string, cubes int, transceiver string) error {
+// startTE builds the DCN fabric + TE loop and ticks it in the background
+// until ctx cancels, returning the loop for status serving.
+func startTE(ctx context.Context, epoch time.Duration, blocks, uplinks int) (*te.Loop, error) {
+	fabric, err := dcn.NewFabric(blocks, uplinks+2, ocs.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	runner, err := te.NewRunner(te.RunnerConfig{
+		Loop: te.Config{
+			Blocks: blocks, Uplinks: uplinks, TrunkBps: 50e9,
+			EpochSeconds: epoch.Seconds(),
+			Applier:      &te.FabricApplier{F: fabric},
+		},
+		Interval: epoch,
+		OnStep: func(e int, plan *te.Plan) {
+			if plan.Reconfigure {
+				log.Printf("lwfd: te epoch %d: reconfigured in %d stages (gain %.3f, %.2fs, min residual %.2f)",
+					e, len(plan.Stages), plan.PredictedGain, plan.Seconds, plan.MinResidualFraction)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fabric.Program(runner.Loop().Current()); err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := runner.Run(ctx); err != nil {
+			log.Printf("lwfd: te loop stopped: %v", err)
+		}
+	}()
+	return runner.Loop(), nil
+}
+
+func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int) error {
 	cfg := core.DefaultConfig(cubes)
 	if transceiver != cfg.Transceiver.Name {
 		gen, err := generationByName(transceiver)
@@ -51,6 +97,7 @@ func run(addr, metricsAddr string, cubes int, transceiver string) error {
 	// alongside the fabric metrics.
 	par.SetRegistry(cfg.Metrics)
 	dcn.SetRegistry(cfg.Metrics)
+	te.SetRegistry(cfg.Metrics)
 	cfg.Alerts = telemetry.SinkFunc(func(a telemetry.Alert) {
 		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
 	})
@@ -76,5 +123,15 @@ func run(addr, metricsAddr string, cubes int, transceiver string) error {
 		}
 		log.Printf("lwfd: metrics on http://%s/metrics", mlis.Addr())
 	}
-	return ctlrpc.NewServer(fabric).Serve(ctx, lis)
+
+	srv := ctlrpc.NewServer(fabric)
+	if teEpoch > 0 {
+		loop, err := startTE(ctx, teEpoch, teBlocks, teUplinks)
+		if err != nil {
+			return fmt.Errorf("starting te loop: %w", err)
+		}
+		srv.SetTE(ctlrpc.LoopTEProvider{L: loop})
+		log.Printf("lwfd: te loop on %d blocks x %d uplinks, epoch %s", teBlocks, teUplinks, teEpoch)
+	}
+	return srv.Serve(ctx, lis)
 }

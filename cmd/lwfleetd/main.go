@@ -4,9 +4,15 @@
 // methods — fleet-status, apply-intent, drain, undrain and the watch event
 // stream — on a TCP address for cmd/lwfctl.
 //
+// With -te-epoch it additionally runs the online topology-engineering
+// loop (internal/te) over a simulated DCN fabric registered as the "dcn"
+// pod: every reconfiguration stage drains and undrains the affected OCSes
+// through the manager, so TE churn shows up on the fleet event stream and
+// in pod status like any other maintenance.
+//
 // Usage:
 //
-//	lwfleetd -addr 127.0.0.1:7700 -pods 4 -cubes 64 [-metrics-addr 127.0.0.1:7780]
+//	lwfleetd -addr 127.0.0.1:7700 -pods 4 -cubes 64 [-metrics-addr 127.0.0.1:7780] [-te-epoch 2s]
 package main
 
 import (
@@ -18,13 +24,16 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"lightwave/internal/core"
 	"lightwave/internal/ctlrpc"
 	"lightwave/internal/dcn"
 	"lightwave/internal/fleet"
+	"lightwave/internal/ocs"
 	"lightwave/internal/optics"
 	"lightwave/internal/par"
+	"lightwave/internal/te"
 	"lightwave/internal/telemetry"
 )
 
@@ -34,11 +43,54 @@ func main() {
 	cubes := flag.Int("cubes", 64, "installed elemental cubes per pod (1-64)")
 	transceiver := flag.String("transceiver", "2x200G-bidi-CWDM4", "transceiver generation")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP /metrics and /debug/pprof listen address (disabled when empty)")
+	teEpoch := flag.Duration("te-epoch", 0, "topology-engineering epoch length (0 disables the TE loop)")
+	teBlocks := flag.Int("te-blocks", 8, "aggregation blocks in the TE loop's DCN fabric")
+	teUplinks := flag.Int("te-uplinks", 14, "uplinks per block in the TE loop's DCN fabric")
 	flag.Parse()
 
-	if err := run(*addr, *metricsAddr, *pods, *cubes, *transceiver); err != nil {
+	if err := run(*addr, *metricsAddr, *pods, *cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// startTE registers a DCN fabric as the "dcn" pod and ticks the TE loop
+// in the background; every stage's OCS drains ride the manager's
+// reconcile path.
+func startTE(ctx context.Context, m *fleet.Manager, epoch time.Duration, blocks, uplinks int) (*te.Loop, error) {
+	fabric, err := dcn.NewFabric(blocks, uplinks+2, ocs.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	applier, err := te.NewFleetApplier(m, "dcn", fabric)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := te.NewRunner(te.RunnerConfig{
+		Loop: te.Config{
+			Blocks: blocks, Uplinks: uplinks, TrunkBps: 50e9,
+			EpochSeconds: epoch.Seconds(),
+			Applier:      applier,
+		},
+		Interval: epoch,
+		OnStep: func(e int, plan *te.Plan) {
+			if plan.Reconfigure {
+				log.Printf("lwfleetd: te epoch %d: reconfigured in %d stages (gain %.3f, min residual %.2f)",
+					e, len(plan.Stages), plan.PredictedGain, plan.MinResidualFraction)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fabric.Program(runner.Loop().Current()); err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := runner.Run(ctx); err != nil {
+			log.Printf("lwfleetd: te loop stopped: %v", err)
+		}
+	}()
+	return runner.Loop(), nil
 }
 
 // buildFleet constructs a manager over n simulated pods named pod0..podN-1.
@@ -74,13 +126,14 @@ func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alert
 	return m, nil
 }
 
-func run(addr, metricsAddr string, pods, cubes int, transceiver string) error {
+func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int) error {
 	reg := telemetry.NewRegistry()
-	// Simulation fan-out (Monte Carlo, sweeps) and the DCN flow simulator
-	// share the fleet registry so par_* and dcn_flowsim_* counters show up
-	// on /metrics.
+	// Simulation fan-out (Monte Carlo, sweeps), the DCN flow simulator and
+	// the TE loop share the fleet registry so par_*, dcn_flowsim_* and
+	// te_* counters show up on /metrics.
 	par.SetRegistry(reg)
 	dcn.SetRegistry(reg)
+	te.SetRegistry(reg)
 	alerts := telemetry.SinkFunc(func(a telemetry.Alert) {
 		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
 	})
@@ -108,5 +161,16 @@ func run(addr, metricsAddr string, pods, cubes int, transceiver string) error {
 		}
 		log.Printf("lwfleetd: metrics on http://%s/metrics", mlis.Addr())
 	}
-	return ctlrpc.NewFleetServer(m).Serve(ctx, lis)
+
+	srv := ctlrpc.NewFleetServer(m)
+	if teEpoch > 0 {
+		loop, err := startTE(ctx, m, teEpoch, teBlocks, teUplinks)
+		if err != nil {
+			return fmt.Errorf("starting te loop: %w", err)
+		}
+		srv.SetTE(ctlrpc.LoopTEProvider{L: loop})
+		log.Printf("lwfleetd: te loop on %d blocks x %d uplinks, epoch %s (pod \"dcn\")",
+			teBlocks, teUplinks, teEpoch)
+	}
+	return srv.Serve(ctx, lis)
 }

@@ -240,6 +240,14 @@ func (c *Client) Metrics() (string, error) {
 	return r.Text, err
 }
 
+// TEStatus fetches the daemon's topology-engineering loop state; Enabled
+// is false when the daemon runs no TE loop.
+func (c *Client) TEStatus() (TEStatusResult, error) {
+	var r TEStatusResult
+	err := c.call(MethodTEStatus, nil, &r)
+	return r, err
+}
+
 // ObserveBER feeds a BER sample and reports whether it was anomalous.
 func (c *Client) ObserveBER(ocsID, port int, ber float64) (bool, error) {
 	var r ObserveBERResult

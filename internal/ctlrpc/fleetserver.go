@@ -16,13 +16,18 @@ import (
 // the manager is safe for concurrent use and reconciliation runs in its own
 // workers, so slow pods never block the control socket.
 type FleetServer struct {
-	m *fleet.Manager
+	m  *fleet.Manager
+	te TEStatusProvider
 }
 
 // NewFleetServer wraps a fleet manager.
 func NewFleetServer(m *fleet.Manager) *FleetServer {
 	return &FleetServer{m: m}
 }
+
+// SetTE attaches a topology-engineering status provider. Call before
+// Serve; a nil provider reports TE as disabled.
+func (s *FleetServer) SetTE(p TEStatusProvider) { s.te = p }
 
 // Serve accepts connections until the listener closes or ctx is cancelled.
 func (s *FleetServer) Serve(ctx context.Context, lis net.Listener) error {
@@ -174,6 +179,12 @@ func (s *FleetServer) call(method string, params json.RawMessage) (any, error) {
 			return struct{}{}, s.m.UndrainOCS(p.Pod, *p.OCS)
 		}
 		return struct{}{}, s.m.UndrainPod(p.Pod)
+
+	case MethodTEStatus:
+		if s.te == nil {
+			return TEStatusResult{}, nil
+		}
+		return s.te.TEStatus(), nil
 
 	default:
 		return nil, fmt.Errorf("unknown method %q", method)

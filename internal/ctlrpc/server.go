@@ -18,12 +18,17 @@ import (
 type Server struct {
 	mu     sync.Mutex
 	fabric *core.Fabric
+	te     TEStatusProvider
 }
 
 // NewServer wraps a fabric.
 func NewServer(f *core.Fabric) *Server {
 	return &Server{fabric: f}
 }
+
+// SetTE attaches a topology-engineering status provider. Call before
+// Serve; a nil provider reports TE as disabled.
+func (s *Server) SetTE(p TEStatusProvider) { s.te = p }
 
 // Serve accepts connections until the listener closes or ctx is cancelled.
 func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
@@ -203,6 +208,12 @@ func (s *Server) call(method string, params json.RawMessage) (any, error) {
 			return MetricsResult{}, nil
 		}
 		return MetricsResult{Text: reg.Text()}, nil
+
+	case MethodTEStatus:
+		if s.te == nil {
+			return TEStatusResult{}, nil
+		}
+		return s.te.TEStatus(), nil
 
 	case MethodReshape:
 		var p ReshapeParams

@@ -1,0 +1,31 @@
+package ctlrpc
+
+import "lightwave/internal/te"
+
+// LoopTEProvider adapts a te.Loop to the TEStatusProvider interface, so
+// both daemons serve te-status with one line of wiring.
+type LoopTEProvider struct {
+	L *te.Loop
+}
+
+// TEStatus implements TEStatusProvider.
+func (p LoopTEProvider) TEStatus() TEStatusResult {
+	s := p.L.Status()
+	return TEStatusResult{
+		Enabled:                   true,
+		Blocks:                    s.Blocks,
+		Uplinks:                   s.Uplinks,
+		Epoch:                     s.Epoch,
+		Reconfigs:                 s.Reconfigs,
+		SkippedReconfigs:          s.SkippedReconfigs,
+		Stages:                    s.Stages,
+		TrunksMoved:               s.TrunksMoved,
+		LastGain:                  s.LastGain,
+		LastPredictionError:       s.LastPredictionError,
+		MinResidualFraction:       s.MinResidualFraction,
+		DrainedCapacityBpsSeconds: s.DrainedCapacityBpsSeconds,
+		LastReconfigEpoch:         s.LastReconfigEpoch,
+		LastReason:                s.LastReason,
+		CurrentTrunks:             s.CurrentTrunks,
+	}
+}

@@ -1,0 +1,105 @@
+package dcn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"lightwave/internal/sim"
+)
+
+// Regression: a NaN or Inf demand cell must be rejected, not silently
+// degrade the greedy fill to the uniform baseline (NaN compares false
+// against every score, so before the fix Engineer returned the
+// reachability mesh untouched).
+func TestEngineerRejectsNonFiniteDemand(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		d := UniformDemand(8, 1)
+		d[2][5] = bad
+		if _, err := Engineer(8, 20, d); !errors.Is(err, ErrBadDemand) {
+			t.Errorf("demand cell %g: err = %v, want ErrBadDemand", bad, err)
+		}
+	}
+}
+
+// connected reports whether the trunk graph spans every block.
+func connected(top *Topology) bool {
+	seen := make([]bool, top.Blocks)
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for j := 0; j < top.Blocks; j++ {
+			if !seen[j] && top.Links[i][j] > 0 {
+				seen[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	for _, s := range seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// Property test: for random (including strongly asymmetric) demand
+// matrices, every engineered topology keeps per-block degree within the
+// uplink budget, stays connected, and keeps the trunk matrix symmetric
+// with a consistent total (sum of degrees = 2 x trunk count).
+func TestEngineerInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := sim.NewRand(seed)
+		blocks := 3 + rng.Intn(10)
+		uplinks := blocks - 1 + rng.Intn(2*blocks)
+		demand := make([][]float64, blocks)
+		for i := range demand {
+			demand[i] = make([]float64, blocks)
+			for j := range demand[i] {
+				if i == j {
+					continue
+				}
+				// Asymmetric by construction: each direction drawn
+				// independently, with whole rows occasionally silent.
+				switch rng.Intn(4) {
+				case 0: // cold pair
+				case 1:
+					demand[i][j] = rng.Float64()
+				default:
+					demand[i][j] = rng.Float64() * math.Pow(10, float64(rng.Intn(4)))
+				}
+			}
+		}
+		top, err := Engineer(blocks, uplinks, demand)
+		if err != nil {
+			t.Fatalf("seed %d (blocks=%d uplinks=%d): %v", seed, blocks, uplinks, err)
+		}
+		if err := top.Validate(); err != nil {
+			t.Fatalf("seed %d: Validate: %v", seed, err)
+		}
+		for i := 0; i < blocks; i++ {
+			if d := top.Degree(i); d > uplinks {
+				t.Fatalf("seed %d: block %d degree %d exceeds %d", seed, i, d, uplinks)
+			}
+		}
+		if !connected(top) {
+			t.Fatalf("seed %d: engineered topology disconnected", seed)
+		}
+		degSum, trunks := 0, 0
+		for i := 0; i < blocks; i++ {
+			degSum += top.Degree(i)
+			for j := i + 1; j < blocks; j++ {
+				if top.Links[i][j] != top.Links[j][i] {
+					t.Fatalf("seed %d: asymmetric links %d-%d: %d vs %d",
+						seed, i, j, top.Links[i][j], top.Links[j][i])
+				}
+				trunks += top.Links[i][j]
+			}
+		}
+		if degSum != 2*trunks {
+			t.Fatalf("seed %d: degree sum %d != 2 x %d trunks", seed, degSum, trunks)
+		}
+	}
+}

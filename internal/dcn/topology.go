@@ -10,6 +10,7 @@ package dcn
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"lightwave/internal/topo"
 )
@@ -118,8 +119,11 @@ func Engineer(blocks, uplinks int, demand [][]float64) (*Topology, error) {
 			return nil, ErrBadDemand
 		}
 		for j := range demand[i] {
-			if demand[i][j] < 0 {
-				return nil, ErrBadDemand
+			// A NaN cell would poison every greedy score comparison (NaN
+			// > best is always false) and silently degrade the fill to the
+			// uniform baseline; an Inf cell would starve every other pair.
+			if d := demand[i][j]; math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+				return nil, fmt.Errorf("%w: demand[%d][%d] = %g", ErrBadDemand, i, j, d)
 			}
 		}
 	}

@@ -1,0 +1,49 @@
+package te
+
+import (
+	"testing"
+
+	"lightwave/internal/dcn"
+)
+
+// BenchmarkPredictorUpdate measures the per-epoch cost of feeding one
+// observed matrix through the per-pair EWMA detectors and peak-holds —
+// the collector-side hot path of the loop.
+func BenchmarkPredictorUpdate(b *testing.B) {
+	const blocks = 16
+	p, err := NewPredictor(blocks, PredictorConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := dcn.SkewedDemand(blocks, 1e9, 8, 200, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Update(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerDecide measures one full planning decision: engineer a
+// target for the predicted matrix, solve both fluid models, and stage the
+// diff under the capacity floor.
+func BenchmarkPlannerDecide(b *testing.B) {
+	const blocks, uplinks = 16, 30
+	pl, err := NewPlanner(PlannerConfig{Blocks: blocks, Uplinks: uplinks, TrunkBps: 50e9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mesh, err := dcn.UniformMesh(blocks, uplinks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	predicted := dcn.SkewedDemand(blocks, 1e9, 8, 1000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Decide(mesh, predicted); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package te
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lightwave/internal/dcn"
+	"lightwave/internal/fleet"
+	"lightwave/internal/topo"
+)
+
+// FleetApplier applies plans through the fleet control plane: the DCN
+// fabric is registered as a first-class pod on the Manager, and every
+// stage brackets its OCS reprogramming with DrainOCS/UndrainOCS on the
+// switches whose circuits the stage tears — so maintenance visibility,
+// events, and slice-placement deferral all ride the same reconcile path
+// as the rest of the fleet (§3.2.2's "deep integration of control and
+// monitoring").
+type FleetApplier struct {
+	m   *fleet.Manager
+	pod string
+	b   *dcnBackend
+}
+
+// NewFleetApplier registers the fabric with the manager under podName
+// (reusing the pod if it already exists) and returns the applier.
+func NewFleetApplier(m *fleet.Manager, podName string, f *dcn.Fabric) (*FleetApplier, error) {
+	b := &dcnBackend{f: f}
+	if err := m.AddPod(podName, b); err != nil && !errors.Is(err, fleet.ErrPodExists) {
+		return nil, err
+	}
+	return &FleetApplier{m: m, pod: podName, b: b}, nil
+}
+
+// Apply implements Applier: for each stage, drain the OCSes the stage
+// reprograms, program the stage's topology, then undrain.
+func (a *FleetApplier) Apply(plan *Plan) error {
+	for si, st := range plan.Stages {
+		ids := a.b.switchesTouching(st.Tear)
+		for _, id := range ids {
+			if err := a.m.DrainOCS(a.pod, id); err != nil {
+				return fmt.Errorf("te: stage %d drain ocs %d: %w", si, id, err)
+			}
+		}
+		err := a.b.program(st.After)
+		for _, id := range ids {
+			if uerr := a.m.UndrainOCS(a.pod, id); uerr != nil && err == nil {
+				err = fmt.Errorf("te: stage %d undrain ocs %d: %w", si, id, uerr)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("te: stage %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
+// dcnBackend adapts a dcn.Fabric to the fleet.Backend interface. The DCN
+// pod carries inter-block trunks, not compute slices, so Ensure is
+// rejected and Info reports circuit inventory only. A mutex serializes
+// the fabric between the applier's programming and the manager's status
+// snapshots.
+type dcnBackend struct {
+	mu sync.Mutex
+	f  *dcn.Fabric
+}
+
+func (b *dcnBackend) program(t *dcn.Topology) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, err := b.f.Program(t)
+	return err
+}
+
+// switchesTouching returns the sorted IDs of switches hosting a circuit
+// of any torn pair — the set a stage must drain. IDs beyond the fleet's
+// drainable OCS range are skipped (they are still reprogrammed, just not
+// tracked as drained).
+func (b *dcnBackend) switchesTouching(tears [][2]int) []int {
+	if len(tears) == 0 {
+		return nil
+	}
+	torn := make(map[[2]int]bool, len(tears))
+	for _, t := range tears {
+		torn[t] = true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var ids []int
+	for i, sw := range b.f.Switches {
+		if i >= topo.NumOCS {
+			break
+		}
+		for _, c := range sw.Circuits() {
+			x, y := int(c.North), int(c.South)
+			if x > y {
+				x, y = y, x
+			}
+			if torn[[2]int{x, y}] {
+				ids = append(ids, i)
+				break
+			}
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Ensure implements fleet.Backend. The DCN pod hosts no compute slices.
+func (b *dcnBackend) Ensure(name string, _ topo.Shape, _ []int) (bool, error) {
+	return false, fmt.Errorf("%w: DCN fabric pod cannot host slice %q", fleet.ErrBadIntent, name)
+}
+
+// Destroy implements fleet.Backend; there is nothing to destroy.
+func (b *dcnBackend) Destroy(string) error { return nil }
+
+// Slices implements fleet.Backend.
+func (b *dcnBackend) Slices() []string { return nil }
+
+// Info implements fleet.Backend.
+func (b *dcnBackend) Info() fleet.PodInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, sw := range b.f.Switches {
+		n += len(sw.Circuits())
+	}
+	return fleet.PodInfo{Circuits: n}
+}

@@ -1,0 +1,311 @@
+package te
+
+import (
+	"fmt"
+
+	"lightwave/internal/cost"
+	"lightwave/internal/dcn"
+	"lightwave/internal/par"
+)
+
+// PlannerConfig parameterizes the reconfiguration planner.
+type PlannerConfig struct {
+	Blocks, Uplinks int
+	// TrunkBps is the per-trunk, per-direction rate used for throughput
+	// and drained-capacity accounting.
+	TrunkBps float64
+	// MinGain is the hysteresis threshold: reconfigure only when the
+	// predicted throughput gain (target/current - 1 on the predicted
+	// matrix) exceeds it (default 0.02). Without it the loop would churn
+	// circuits every epoch chasing noise.
+	MinGain float64
+	// CapacityFloor is the minimum fraction of the fabric's trunk
+	// capacity that must stay in service during every stage of a
+	// reconfiguration (default 0.75). Plans that cannot be staged above
+	// the floor are rejected.
+	CapacityFloor float64
+	// Tech is the OCS technology whose switching time costs the plan
+	// (default the Table C.1 MEMS row).
+	Tech cost.OCSTechnology
+	// Switches is the number of OCSes sharing each stage's reprogram
+	// work (default Uplinks).
+	Switches int
+	// StageOverheadSeconds is the routing drain/undrain overhead paid
+	// per stage on top of the optical switching time (default 1s).
+	StageOverheadSeconds float64
+}
+
+func (c PlannerConfig) withDefaults() PlannerConfig {
+	if c.MinGain <= 0 {
+		c.MinGain = 0.02
+	}
+	if c.CapacityFloor <= 0 || c.CapacityFloor >= 1 {
+		c.CapacityFloor = 0.75
+	}
+	if c.Tech.Name == "" {
+		c.Tech = cost.Technologies()[0] // MEMS
+	}
+	if c.Switches <= 0 {
+		c.Switches = c.Uplinks
+	}
+	if c.StageOverheadSeconds <= 0 {
+		c.StageOverheadSeconds = 1
+	}
+	return c
+}
+
+// Stage is one drain -> OCS reprogram -> undrain step of a plan: the
+// trunks in Tear are drained and torn down, the trunks in Establish come
+// up, and After is the logical topology live once the stage completes.
+type Stage struct {
+	Tear      [][2]int
+	Establish [][2]int
+	// After is the post-stage topology (what Appliers program).
+	After *dcn.Topology
+	// Seconds is the stage's wall time: the OCS switching time for its
+	// circuit changes plus the drain/undrain overhead.
+	Seconds float64
+	// ResidualFraction is the fraction of the fabric's trunk capacity
+	// still in service while the stage runs (torn trunks are already
+	// drained, new trunks are not yet up).
+	ResidualFraction float64
+}
+
+// Plan is the planner's decision for one epoch.
+type Plan struct {
+	// Reconfigure reports whether the loop should act; when false,
+	// Reason says why the planner held (hysteresis, floor, no change).
+	Reconfigure bool
+	Reason      string
+	Target      *dcn.Topology
+	Stages      []Stage
+	// PredictedGain is target/current achieved throughput - 1 on the
+	// predicted demand.
+	PredictedGain         float64
+	CurrentBps, TargetBps float64
+	// Seconds is the total reconfiguration time across stages.
+	Seconds float64
+	// DrainedCapacityBpsSeconds integrates capacity held out of service:
+	// sum over stages of drained trunks x 2 x TrunkBps x stage seconds.
+	DrainedCapacityBpsSeconds float64
+	// MinResidualFraction is the lowest ResidualFraction across stages
+	// (1 when the plan has no stages).
+	MinResidualFraction float64
+}
+
+// Planner decides when and how to reconfigure. It is stateless apart from
+// its configuration; hysteresis *cooldown* (min epochs between
+// reconfigurations) lives in the Loop, which owns the epoch counter.
+type Planner struct {
+	cfg PlannerConfig
+}
+
+// NewPlanner validates the configuration and returns a planner.
+func NewPlanner(cfg PlannerConfig) (*Planner, error) {
+	if cfg.Blocks < 2 || cfg.Uplinks < cfg.Blocks-1 || cfg.TrunkBps <= 0 {
+		return nil, fmt.Errorf("%w: blocks=%d uplinks=%d trunk=%g",
+			ErrConfig, cfg.Blocks, cfg.Uplinks, cfg.TrunkBps)
+	}
+	return &Planner{cfg: cfg.withDefaults()}, nil
+}
+
+// Config returns the planner's effective (defaulted) configuration.
+func (p *Planner) Config() PlannerConfig { return p.cfg }
+
+// Decide engineers a candidate topology for the predicted demand and
+// returns the staged plan, or a held plan when the gain does not clear
+// the hysteresis threshold or the change cannot be staged above the
+// capacity floor.
+func (p *Planner) Decide(current *dcn.Topology, predicted [][]float64) (*Plan, error) {
+	cfg := p.cfg
+	plan := &Plan{MinResidualFraction: 1}
+	target, err := dcn.Engineer(cfg.Blocks, cfg.Uplinks, predicted)
+	if err != nil {
+		return nil, err
+	}
+	plan.Target = target
+	if sameLinks(current, target) {
+		plan.Reason = "topology already optimal for predicted demand"
+		return plan, nil
+	}
+
+	// The two fluid solves are independent; fan them out on the worker
+	// pool (results collected by index, so the comparison is identical
+	// at any worker count).
+	tops := []*dcn.Topology{current, target}
+	bps := par.Sweep("te_plan_eval", tops, func(_ int, t *dcn.Topology) float64 {
+		return dcn.AchievedThroughput(t, predicted, cfg.TrunkBps)
+	})
+	plan.CurrentBps, plan.TargetBps = bps[0], bps[1]
+	if plan.CurrentBps > 0 {
+		plan.PredictedGain = plan.TargetBps/plan.CurrentBps - 1
+	}
+	if plan.PredictedGain < cfg.MinGain {
+		plan.Reason = fmt.Sprintf("predicted gain %.3f below hysteresis threshold %.3f",
+			plan.PredictedGain, cfg.MinGain)
+		return plan, nil
+	}
+
+	stages, err := p.stagePlan(current, target)
+	if err != nil {
+		plan.Reason = err.Error()
+		return plan, nil
+	}
+	plan.Stages = stages
+	plan.Reconfigure = true
+	plan.Reason = fmt.Sprintf("predicted gain %.3f over %d stages", plan.PredictedGain, len(stages))
+	for _, st := range stages {
+		plan.Seconds += st.Seconds
+		plan.DrainedCapacityBpsSeconds += float64(len(st.Tear)) * 2 * cfg.TrunkBps * st.Seconds
+		if st.ResidualFraction < plan.MinResidualFraction {
+			plan.MinResidualFraction = st.ResidualFraction
+		}
+	}
+	return plan, nil
+}
+
+// stagePlan splits the current->target diff into stages. Trunks present
+// in both topologies are never touched (the §2.3 keep-undisturbed
+// property of incremental programming); each stage tears the largest
+// prefix of the remaining tears that keeps residual capacity at or above
+// the floor and the intermediate topology two-hop routable for every
+// pair, then establishes as many pending trunks as freed ports allow.
+func (p *Planner) stagePlan(current, target *dcn.Topology) ([]Stage, error) {
+	cfg := p.cfg
+	n := cfg.Blocks
+	var tears, adds [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := target.Links[i][j] - current.Links[i][j]
+			for k := 0; k < d; k++ {
+				adds = append(adds, [2]int{i, j})
+			}
+			for k := 0; k < -d; k++ {
+				tears = append(tears, [2]int{i, j})
+			}
+		}
+	}
+	totalTrunks := trunkCount(current)
+	if totalTrunks == 0 {
+		return nil, fmt.Errorf("%w: current topology has no trunks", ErrConfig)
+	}
+
+	work := cloneTopology(current)
+	var stages []Stage
+	for len(tears) > 0 || len(adds) > 0 {
+		var stage Stage
+		// Tear phase: take tears while the floor and routability hold.
+		for len(tears) > 0 {
+			t0 := tears[0]
+			work.Links[t0[0]][t0[1]]--
+			work.Links[t0[1]][t0[0]]--
+			frac := float64(trunkCount(work)) / float64(totalTrunks)
+			if (frac < cfg.CapacityFloor || !allPairsRoutable(work)) && len(stage.Tear) > 0 {
+				// This tear belongs to the next stage.
+				work.Links[t0[0]][t0[1]]++
+				work.Links[t0[1]][t0[0]]++
+				break
+			}
+			if frac < cfg.CapacityFloor || !allPairsRoutable(work) {
+				// Even a single-trunk stage violates the floor (or
+				// disconnects a pair): the plan cannot be staged safely.
+				work.Links[t0[0]][t0[1]]++
+				work.Links[t0[1]][t0[0]]++
+				return nil, fmt.Errorf("%w: single-trunk stage drops residual capacity to %.3f (floor %.3f)",
+					ErrConfig, frac, cfg.CapacityFloor)
+			}
+			stage.Tear = append(stage.Tear, t0)
+			tears = tears[1:]
+		}
+		stage.ResidualFraction = float64(trunkCount(work)) / float64(totalTrunks)
+		// Establish phase: bring up every pending trunk the freed ports
+		// admit. New circuits do not disturb live traffic, so they do
+		// not count against the floor.
+		rest := adds[:0]
+		for _, a := range adds {
+			if work.Degree(a[0]) < cfg.Uplinks && work.Degree(a[1]) < cfg.Uplinks {
+				work.Links[a[0]][a[1]]++
+				work.Links[a[1]][a[0]]++
+				stage.Establish = append(stage.Establish, a)
+			} else {
+				rest = append(rest, a)
+			}
+		}
+		adds = rest
+		if len(stage.Tear) == 0 && len(stage.Establish) == 0 {
+			// No progress is a planner bug (a valid target always
+			// admits its adds once its tears are done).
+			return nil, fmt.Errorf("%w: staging made no progress (%d tears, %d adds left)",
+				ErrConfig, len(tears), len(adds))
+		}
+		changes := len(stage.Tear) + len(stage.Establish)
+		stage.Seconds = cfg.Tech.PodReconfigTime(changes, cfg.Switches) + cfg.StageOverheadSeconds
+		stage.After = cloneTopology(work)
+		stages = append(stages, stage)
+	}
+	if !sameLinks(work, target) {
+		return nil, fmt.Errorf("%w: staged topology does not converge to target", ErrConfig)
+	}
+	return stages, nil
+}
+
+// sameLinks reports whether two topologies carry identical trunk
+// matrices.
+func sameLinks(a, b *dcn.Topology) bool {
+	if a.Blocks != b.Blocks {
+		return false
+	}
+	for i := range a.Links {
+		for j := range a.Links[i] {
+			if a.Links[i][j] != b.Links[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// cloneTopology deep-copies a topology.
+func cloneTopology(t *dcn.Topology) *dcn.Topology {
+	out := &dcn.Topology{Blocks: t.Blocks, UplinksPerBlock: t.UplinksPerBlock}
+	out.Links = make([][]int, t.Blocks)
+	for i := range t.Links {
+		out.Links[i] = append([]int(nil), t.Links[i]...)
+	}
+	return out
+}
+
+// trunkCount sums the undirected trunks of a topology.
+func trunkCount(t *dcn.Topology) int {
+	n := 0
+	for i := range t.Links {
+		for j := i + 1; j < len(t.Links[i]); j++ {
+			n += t.Links[i][j]
+		}
+	}
+	return n
+}
+
+// allPairsRoutable reports whether every block pair has a direct trunk or
+// a two-hop transit path — the routability invariant the flow simulator
+// and the fluid solver both rely on.
+func allPairsRoutable(t *dcn.Topology) bool {
+	n := t.Blocks
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if t.Links[i][j] > 0 {
+				continue
+			}
+			ok := false
+			for v := 0; v < n && !ok; v++ {
+				if v != i && v != j && t.Links[i][v] > 0 && t.Links[v][j] > 0 {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

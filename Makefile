@@ -1,18 +1,22 @@
 GO ?= go
 
-.PHONY: check vet build test race race-par race-te bench bench-sim bench-dcn bench-te profile-dcn experiments clean
+.PHONY: check vet build test race race-par race-te race-chaos bench bench-sim bench-dcn bench-te bench-chaos profile-dcn experiments clean
 
 # The gate every change must pass: vet, build everything, race-test the
 # parallel engine under contention, race-test the TE loop (its Loop is
-# shared between the runner goroutine and status serving), then race-test
-# everything.
-check: vet build race-par race-te race
+# shared between the runner goroutine and status serving), race-test the
+# chaos subsystem (its injector threads live reconciler workers through
+# scenario replays), then race-test everything.
+check: vet build race-par race-te race-chaos race
 
 race-par:
 	$(GO) test -race ./internal/par/...
 
 race-te:
 	$(GO) test -race ./internal/te/...
+
+race-chaos:
+	$(GO) test -race ./internal/chaos/...
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +58,14 @@ bench-te:
 # CPU profile of the heaviest bench; inspect with
 # `$(GO) tool pprof dcn.test dcn.cpuprof` (live daemons expose the same
 # data on <metrics-addr>/debug/pprof/profile).
+# Repeated runs of the fault-injection hot paths in machine-readable form:
+# full scenario replay through a live fleet manager (ScenarioReplay) and the
+# injector's trunk bookkeeping (InjectorHotPath — must stay at 0 allocs/op).
+# Commit BENCH_chaos.json so the injection overhead trajectory is tracked
+# in-repo.
+bench-chaos:
+	$(GO) test -json -run '^$$' -bench 'ScenarioReplay|InjectorHotPath' -benchmem -count=5 ./internal/chaos > BENCH_chaos.json
+
 profile-dcn:
 	$(GO) test -run '^$$' -bench 'DCNTopologyEngineering' -benchtime 5x -cpuprofile dcn.cpuprof -o dcn.test .
 

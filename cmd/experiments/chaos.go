@@ -1,0 +1,33 @@
+package main
+
+import (
+	"fmt"
+
+	"lightwave/internal/chaos"
+)
+
+// chaosExperiment replays the paper's headline resilience drill — a single
+// OCS outage with field repair — against the live fleet reconciler and TE
+// loop, measuring the §3.4 claim: losing one of N switches costs a bounded
+// ~1/N slice of inter-block capacity, the control plane heals around it
+// within a reconcile epoch, and no compute pod is disturbed. The replay is
+// deterministic: the same seed produces a byte-identical report at any
+// worker count.
+func chaosExperiment() {
+	cfg := chaos.EvalConfig{
+		Scenario:     chaos.SingleOCSOutage(2, 70, 180, 360),
+		Blocks:       6,
+		Uplinks:      6,
+		LoadFraction: 0.9,
+		Seed:         7,
+	}
+	rep, err := chaos.Evaluate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("drill: OCS 2 fails at t=70s, field-repaired at t=250s (%d blocks x %d uplinks, %.0f%% load)\n",
+		cfg.Blocks, cfg.Uplinks, 100*cfg.LoadFraction)
+	fmt.Print(rep.Text())
+	fmt.Printf("bounded cost: worst epoch kept %.1f%% of fault-free goodput; capacity restored in %.0fs\n",
+		100*rep.MinGoodputFraction, rep.CapacityMTTRSeconds)
+}

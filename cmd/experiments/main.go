@@ -47,6 +47,7 @@ func main() {
 		{"refresh", "in-service technology refresh trajectory", refreshExperiment},
 		{"campus", "campus fabric with shifting services", campusExperiment},
 		{"te", "online traffic-aware topology engineering loop", teExperiment},
+		{"chaos", "single-OCS-outage resilience drill", chaosExperiment},
 	}
 
 	if *list {

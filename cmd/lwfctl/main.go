@@ -75,7 +75,15 @@ fleet commands (against lwfleetd):
   fleet remove <pod> <name>
   fleet drain <pod> [ocs]
   fleet undrain <pod> [ocs]
-  fleet watch [count]`)
+  fleet watch [count]
+chaos commands (daemon must run with -chaos):
+  chaos status
+  chaos inject pod-loss <pod>
+  chaos inject pod-restore <pod>
+  chaos inject circuit-flap <blockA> <blockB> <seconds>
+  chaos inject ber-degrade <a> <b> <ber> [seconds]   (a,b = block pair on lwfleetd, ocs/port on lwfd)
+  chaos inject slow-drain <pod> <ocs> <seconds>
+  chaos inject stuck-drain <pod> <ocs>`)
 }
 
 func dispatch(c *ctlrpc.Client, args []string) error {
@@ -222,6 +230,12 @@ func dispatch(c *ctlrpc.Client, args []string) error {
 			return fmt.Errorf("fleet needs a subcommand")
 		}
 		return dispatchFleet(c, args[1:])
+
+	case "chaos":
+		if len(args) < 2 {
+			return fmt.Errorf("chaos needs a subcommand (status, inject)")
+		}
+		return dispatchChaos(c, args[1:])
 
 	case "observe-ber":
 		if len(args) != 4 {

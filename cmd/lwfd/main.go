@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	lwfd -addr 127.0.0.1:7600 -cubes 64 [-metrics-addr 127.0.0.1:7680] [-te-epoch 2s]
+//	lwfd -addr 127.0.0.1:7600 -cubes 64 [-metrics-addr 127.0.0.1:7680] [-te-epoch 2s] [-chaos]
 package main
 
 import (
@@ -20,9 +20,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"lightwave/internal/chaos"
 	"lightwave/internal/core"
 	"lightwave/internal/ctlrpc"
 	"lightwave/internal/dcn"
@@ -30,6 +32,7 @@ import (
 	"lightwave/internal/par"
 	"lightwave/internal/te"
 	"lightwave/internal/telemetry"
+	"lightwave/internal/topo"
 )
 
 func main() {
@@ -40,10 +43,52 @@ func main() {
 	teEpoch := flag.Duration("te-epoch", 0, "topology-engineering epoch length (0 disables the TE loop)")
 	teBlocks := flag.Int("te-blocks", 8, "aggregation blocks in the TE loop's DCN fabric")
 	teUplinks := flag.Int("te-uplinks", 14, "uplinks per block in the TE loop's DCN fabric")
+	chaosOn := flag.Bool("chaos", false, "enable fault injection (ber-degrade via chaos-inject)")
 	flag.Parse()
 
-	if err := run(*addr, *metricsAddr, *cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks); err != nil {
+	if err := run(*addr, *metricsAddr, *cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks, *chaosOn); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// fabricChaos adapts the single-fabric daemon to the chaos RPCs. The only
+// fault kind it supports is ber-degrade: samples ride the fabric's own
+// link-BER path (per-link detector, alerts, auto link repair). Pod and
+// OCS faults belong to the fleet daemon's injector.
+type fabricChaos struct {
+	mu        sync.Mutex
+	fabric    *core.Fabric
+	cInjected *telemetry.Counter
+	injected  int
+	lastFault string
+}
+
+func (p *fabricChaos) ChaosInject(params ctlrpc.ChaosInjectParams) (ctlrpc.ChaosInjectResult, error) {
+	if params.Kind != string(chaos.KindBERDegrade) {
+		return ctlrpc.ChaosInjectResult{}, fmt.Errorf(
+			"lwfd: only %s injection is supported on the fabric daemon; use lwfleetd -chaos for fleet faults",
+			chaos.KindBERDegrade)
+	}
+	if params.BER <= 0 || params.BER >= 1 {
+		return ctlrpc.ChaosInjectResult{}, fmt.Errorf("lwfd: ber-degrade needs 0 < ber < 1, got %g", params.BER)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	anom := p.fabric.ObserveLinkBER(topo.OCSID(params.OCS), params.Port, params.BER)
+	p.injected++
+	p.cInjected.Inc()
+	p.lastFault = fmt.Sprintf("ber-degrade ocs=%d port=%d ber=%.3g anomalous=%t",
+		params.OCS, params.Port, params.BER, anom)
+	return ctlrpc.ChaosInjectResult{Applied: p.lastFault}, nil
+}
+
+func (p *fabricChaos) ChaosStatus() ctlrpc.ChaosStatusResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ctlrpc.ChaosStatusResult{
+		Enabled:       true,
+		InjectedTotal: p.injected,
+		LastFault:     p.lastFault,
 	}
 }
 
@@ -82,7 +127,7 @@ func startTE(ctx context.Context, epoch time.Duration, blocks, uplinks int) (*te
 	return runner.Loop(), nil
 }
 
-func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int) error {
+func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int, chaosOn bool) error {
 	cfg := core.DefaultConfig(cubes)
 	if transceiver != cfg.Transceiver.Name {
 		gen, err := generationByName(transceiver)
@@ -98,6 +143,7 @@ func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.D
 	par.SetRegistry(cfg.Metrics)
 	dcn.SetRegistry(cfg.Metrics)
 	te.SetRegistry(cfg.Metrics)
+	chaos.SetRegistry(cfg.Metrics)
 	cfg.Alerts = telemetry.SinkFunc(func(a telemetry.Alert) {
 		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
 	})
@@ -132,6 +178,13 @@ func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.D
 		}
 		srv.SetTE(ctlrpc.LoopTEProvider{L: loop})
 		log.Printf("lwfd: te loop on %d blocks x %d uplinks, epoch %s", teBlocks, teUplinks, teEpoch)
+	}
+	if chaosOn {
+		srv.SetChaos(&fabricChaos{
+			fabric:    fabric,
+			cInjected: cfg.Metrics.Counter("chaos_injected_total"),
+		})
+		log.Printf("lwfd: fault injection enabled (ber-degrade)")
 	}
 	return srv.Serve(ctx, lis)
 }

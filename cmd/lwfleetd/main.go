@@ -10,9 +10,14 @@
 // through the manager, so TE churn shows up on the fleet event stream and
 // in pod status like any other maintenance.
 //
+// With -chaos the daemon wraps each pod backend in an injectable fault
+// shim and serves the chaos-inject / chaos-status RPCs (lwfctl chaos ...)
+// for live fleet-plane fault drills; without the flag those RPCs are
+// rejected.
+//
 // Usage:
 //
-//	lwfleetd -addr 127.0.0.1:7700 -pods 4 -cubes 64 [-metrics-addr 127.0.0.1:7780] [-te-epoch 2s]
+//	lwfleetd -addr 127.0.0.1:7700 -pods 4 -cubes 64 [-metrics-addr 127.0.0.1:7780] [-te-epoch 2s] [-chaos]
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"lightwave/internal/chaos"
 	"lightwave/internal/core"
 	"lightwave/internal/ctlrpc"
 	"lightwave/internal/dcn"
@@ -46,9 +52,10 @@ func main() {
 	teEpoch := flag.Duration("te-epoch", 0, "topology-engineering epoch length (0 disables the TE loop)")
 	teBlocks := flag.Int("te-blocks", 8, "aggregation blocks in the TE loop's DCN fabric")
 	teUplinks := flag.Int("te-uplinks", 14, "uplinks per block in the TE loop's DCN fabric")
+	chaosOn := flag.Bool("chaos", false, "enable fault injection (chaos-inject / chaos-status RPCs)")
 	flag.Parse()
 
-	if err := run(*addr, *metricsAddr, *pods, *cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks); err != nil {
+	if err := run(*addr, *metricsAddr, *pods, *cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks, *chaosOn); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -95,10 +102,16 @@ func startTE(ctx context.Context, m *fleet.Manager, epoch time.Duration, blocks,
 
 // buildFleet constructs a manager over n simulated pods named pod0..podN-1.
 // All pods and the manager share one registry, so /metrics exposes the
-// fleet-wide reconcile counters alongside per-pod fabric telemetry.
-func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alerts telemetry.AlertSink) (*fleet.Manager, error) {
+// fleet-wide reconcile counters alongside per-pod fabric telemetry. With
+// chaosOn each pod backend is wrapped in a chaos.FaultyBackend so the
+// chaos-inject RPC can fail it; the map is nil otherwise.
+func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alerts telemetry.AlertSink, chaosOn bool) (*fleet.Manager, map[string]*chaos.FaultyBackend, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("lwfleetd: need at least 1 pod, got %d", n)
+		return nil, nil, fmt.Errorf("lwfleetd: need at least 1 pod, got %d", n)
+	}
+	var injectable map[string]*chaos.FaultyBackend
+	if chaosOn {
+		injectable = make(map[string]*chaos.FaultyBackend, n)
 	}
 	m := fleet.NewManager(fleet.Options{Metrics: reg, Alerts: alerts})
 	for i := 0; i < n; i++ {
@@ -107,7 +120,7 @@ func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alert
 			gen, err := optics.GenerationByName(transceiver)
 			if err != nil {
 				m.Close()
-				return nil, err
+				return nil, nil, err
 			}
 			cfg.Transceiver = gen
 		}
@@ -116,29 +129,37 @@ func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alert
 		f, err := core.New(cfg)
 		if err != nil {
 			m.Close()
-			return nil, fmt.Errorf("building pod%d fabric: %w", i, err)
+			return nil, nil, fmt.Errorf("building pod%d fabric: %w", i, err)
 		}
-		if err := m.AddPod(fmt.Sprintf("pod%d", i), fleet.NewFabricBackend(f, nil)); err != nil {
+		name := fmt.Sprintf("pod%d", i)
+		var backend fleet.Backend = fleet.NewFabricBackend(f, nil)
+		if chaosOn {
+			fb := chaos.NewFaultyBackend(backend)
+			injectable[name] = fb
+			backend = fb
+		}
+		if err := m.AddPod(name, backend); err != nil {
 			m.Close()
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return m, nil
+	return m, injectable, nil
 }
 
-func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int) error {
+func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int, chaosOn bool) error {
 	reg := telemetry.NewRegistry()
-	// Simulation fan-out (Monte Carlo, sweeps), the DCN flow simulator and
-	// the TE loop share the fleet registry so par_*, dcn_flowsim_* and
-	// te_* counters show up on /metrics.
+	// Simulation fan-out (Monte Carlo, sweeps), the DCN flow simulator,
+	// the TE loop and fault injection share the fleet registry so par_*,
+	// dcn_flowsim_*, te_* and chaos_* counters show up on /metrics.
 	par.SetRegistry(reg)
 	dcn.SetRegistry(reg)
 	te.SetRegistry(reg)
+	chaos.SetRegistry(reg)
 	alerts := telemetry.SinkFunc(func(a telemetry.Alert) {
 		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
 	})
 
-	m, err := buildFleet(pods, cubes, transceiver, reg, alerts)
+	m, injectable, err := buildFleet(pods, cubes, transceiver, reg, alerts, chaosOn)
 	if err != nil {
 		return err
 	}
@@ -171,6 +192,24 @@ func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch 
 		srv.SetTE(ctlrpc.LoopTEProvider{L: loop})
 		log.Printf("lwfleetd: te loop on %d blocks x %d uplinks, epoch %s (pod \"dcn\")",
 			teBlocks, teUplinks, teEpoch)
+	}
+	if chaosOn {
+		// Fleet-plane faults only: pod-loss/-restore through the wrapped
+		// backends, drains through the manager, trunk impairments as
+		// injector bookkeeping. OCS outages need a fabric target and are
+		// rejected — the shared te fabric is driven by its own loop.
+		det := telemetry.NewDetector("chaos-ber", alerts)
+		det.HardLimit = chaos.KP4BERLimit
+		inj, err := chaos.NewInjector(chaos.Targets{
+			Fleet:    m,
+			Backends: injectable,
+			Detector: det,
+		})
+		if err != nil {
+			return fmt.Errorf("starting chaos injector: %w", err)
+		}
+		srv.SetChaos(ctlrpc.InjectorProvider{In: inj})
+		log.Printf("lwfleetd: fault injection enabled (%d injectable pods)", len(injectable))
 	}
 	return srv.Serve(ctx, lis)
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"lightwave/internal/chaos"
 	"lightwave/internal/dcn"
 	"lightwave/internal/fleet"
 	"lightwave/internal/telemetry"
@@ -16,11 +17,14 @@ import (
 
 func TestBuildFleet(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	m, err := buildFleet(4, 8, "2x200G-bidi-CWDM4", reg, nil)
+	m, injectable, err := buildFleet(4, 8, "2x200G-bidi-CWDM4", reg, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close()
+	if injectable != nil {
+		t.Fatalf("injectable backends without -chaos: %v", injectable)
+	}
 
 	st := m.Status()
 	if len(st.Pods) != 4 {
@@ -57,19 +61,61 @@ func TestBuildFleet(t *testing.T) {
 	}
 }
 
+// TestBuildFleetChaos verifies the -chaos wiring: every pod backend is
+// wrapped in an injectable shim and a pod-loss drives the reconciler to
+// quarantine through the ordinary retry path.
+func TestBuildFleetChaos(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m, injectable, err := buildFleet(2, 4, "2x200G-bidi-CWDM4", reg, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(injectable) != 2 {
+		t.Fatalf("injectable = %v", injectable)
+	}
+
+	inj, err := chaos.NewInjector(chaos.Targets{Fleet: m, Backends: injectable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetSliceIntent("pod1", fleet.SliceIntent{
+		Name: "job", Shape: topo.Shape{X: 4, Y: 4, Z: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Apply(chaos.Event{Kind: chaos.KindPodLoss, Pod: "pod1"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ps, err := m.PodStatus("pod1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.Quarantined {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pod1 never quarantined: %+v", ps)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func TestBuildFleetErrors(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	if _, err := buildFleet(0, 8, "2x200G-bidi-CWDM4", reg, nil); err == nil {
+	if _, _, err := buildFleet(0, 8, "2x200G-bidi-CWDM4", reg, nil, false); err == nil {
 		t.Error("zero pods accepted")
 	}
-	if _, err := buildFleet(1, 8, "no-such-module", reg, nil); err == nil {
+	if _, _, err := buildFleet(1, 8, "no-such-module", reg, nil, false); err == nil {
 		t.Error("unknown transceiver accepted")
 	}
 }
 
 func TestMetricsEndpoint(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	m, err := buildFleet(2, 4, "2x200G-bidi-CWDM4", reg, nil)
+	m, _, err := buildFleet(2, 4, "2x200G-bidi-CWDM4", reg, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,71 @@
+package avail
+
+import "math"
+
+// Rates is the per-component failure/repair rate table — the single
+// source of truth shared by the continuous-time Monte Carlo models in
+// this package and internal/chaos's random-scenario generator. The
+// numbers are calibrated against the paper's operational story: cube
+// repairs are day-scale server operations (§4.3), a whole OCS chassis
+// delivers >99.98% availability with an 8h field-repair SLO (§4.1.1 and
+// ocs.DefaultReliability), and transceiver/circuit impairments are
+// transient events handled by telemetry and drains (§3.2.2, §3.4).
+type Rates struct {
+	// CubeMTTRHours is the mean elemental-cube repair time.
+	CubeMTTRHours float64
+	// OCSMTBFHours and OCSRepairHours describe whole-chassis failure:
+	// with an 8h repair and >99.98% availability, MTBF ≈ 8·A/(1−A) ≈
+	// 40000h (consistent with ocs.DefaultReliability's FRU model).
+	OCSMTBFHours   float64
+	OCSRepairHours float64
+	// TransceiverBERPerHour is the per-trunk rate of transient BER
+	// degradations (dirty connector, marginal module) that trip the
+	// 2e-4 KP4 hard limit.
+	TransceiverBERPerHour float64
+	// CircuitFlapPerHour is the per-trunk rate of short circuit flaps
+	// (fiber bumps, brief loss-of-light).
+	CircuitFlapPerHour float64
+	// FlapMeanSeconds is the mean duration of a flap or BER episode.
+	FlapMeanSeconds float64
+	// DrainStuckProb is the probability that an injected drain workflow
+	// wedges and never undrains on its own (operator intervention).
+	DrainStuckProb float64
+	// PodBackendMTBFHours is the MTBF of a pod's control backend (pod
+	// manager / CSM path); repair takes CubeMTTRHours.
+	PodBackendMTBFHours float64
+	// OCSMaintenancePerYear is the planned per-OCS maintenance-drain
+	// rate (matches ocs.DefaultReliability).
+	OCSMaintenancePerYear float64
+}
+
+// DefaultRates returns the calibrated table.
+func DefaultRates() Rates {
+	return Rates{
+		CubeMTTRHours:         24,
+		OCSMTBFHours:          40000,
+		OCSRepairHours:        8,
+		TransceiverBERPerHour: 1.0 / 2000,
+		CircuitFlapPerHour:    1.0 / 500,
+		FlapMeanSeconds:       90,
+		DrainStuckProb:        0.02,
+		PodBackendMTBFHours:   20000,
+		OCSMaintenancePerYear: 1.5,
+	}
+}
+
+// CubeMTBFHours derives the per-cube MTBF from a steady-state
+// availability: A = MTBF/(MTBF+MTTR) → MTBF = MTTR·A/(1−A). The
+// timeline Monte Carlo uses this to turn PodModel.CubeAvail into a
+// failure rate; a ≥ 1 returns +Inf (a cube that never fails).
+func (r Rates) CubeMTBFHours(a float64) float64 {
+	if a >= 1 {
+		return math.Inf(1)
+	}
+	return r.CubeMTTRHours * a / (1 - a)
+}
+
+// OCSAvailability is the steady-state chassis availability implied by
+// the table: MTBF/(MTBF+MTTR).
+func (r Rates) OCSAvailability() float64 {
+	return r.OCSMTBFHours / (r.OCSMTBFHours + r.OCSRepairHours)
+}

@@ -64,10 +64,9 @@ func SimulateTimeline(p TimelineParams, rng *sim.Rand) (TimelineResult, error) {
 		return res, nil
 	}
 
-	// Per-cube failure rate from steady-state availability:
-	// A = MTBF/(MTBF+MTTR) → MTBF = MTTR·A/(1−A).
-	a := p.Pod.CubeAvail()
-	mtbf := p.MTTRHours * a / (1 - a)
+	// Per-cube failure rate from steady-state availability, via the
+	// shared Rates table (A = MTBF/(MTBF+MTTR) → MTBF = MTTR·A/(1−A)).
+	mtbf := Rates{CubeMTTRHours: p.MTTRHours}.CubeMTBFHours(p.Pod.CubeAvail())
 	horizon := p.Years * 8766
 
 	n := p.Pod.Cubes

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lightwave/internal/fleet"
+	"lightwave/internal/topo"
+)
+
+// ErrInjected marks backend failures produced by fault injection, so
+// operators (and tests) can tell an injected fault from an organic one
+// in reconcile-error details.
+var ErrInjected = errors.New("chaos: injected backend fault")
+
+// FaultyBackend wraps a fleet.Backend with an injectable failure mode:
+// while failed, every *mutating* call (Ensure, Destroy) returns the
+// fault and read paths keep working — a dead pod manager still shows up
+// in status scrapes, it just cannot actuate. This is the seam pod-loss
+// faults flow through: the reconciler sees ordinary backend errors,
+// retries with backoff, and quarantines, exactly as it would for a real
+// outage.
+type FaultyBackend struct {
+	mu    sync.Mutex
+	inner fleet.Backend
+	fault error
+}
+
+// NewFaultyBackend wraps inner.
+func NewFaultyBackend(inner fleet.Backend) *FaultyBackend {
+	return &FaultyBackend{inner: inner}
+}
+
+// Fail arms the failure mode; a nil err installs ErrInjected.
+func (b *FaultyBackend) Fail(err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	b.mu.Lock()
+	b.fault = err
+	b.mu.Unlock()
+}
+
+// Heal disarms the failure mode.
+func (b *FaultyBackend) Heal() {
+	b.mu.Lock()
+	b.fault = nil
+	b.mu.Unlock()
+}
+
+// Failed reports whether the failure mode is armed.
+func (b *FaultyBackend) Failed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fault != nil
+}
+
+func (b *FaultyBackend) currentFault() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fault
+}
+
+// Ensure implements fleet.Backend.
+func (b *FaultyBackend) Ensure(name string, shape topo.Shape, cubes []int) (bool, error) {
+	if err := b.currentFault(); err != nil {
+		return false, fmt.Errorf("ensure %q: %w", name, err)
+	}
+	return b.inner.Ensure(name, shape, cubes)
+}
+
+// Destroy implements fleet.Backend.
+func (b *FaultyBackend) Destroy(name string) error {
+	if err := b.currentFault(); err != nil {
+		return fmt.Errorf("destroy %q: %w", name, err)
+	}
+	return b.inner.Destroy(name)
+}
+
+// Slices implements fleet.Backend; reads survive the fault.
+func (b *FaultyBackend) Slices() []string { return b.inner.Slices() }
+
+// Info implements fleet.Backend; reads survive the fault.
+func (b *FaultyBackend) Info() fleet.PodInfo { return b.inner.Info() }
+
+// MemoryBackend is a minimal in-memory fleet.Backend for evaluator pods:
+// slices are bookkeeping entries on a 64-cube inventory. It exists so
+// scenario replays can run thousands of reconcile passes without paying
+// for full fabric simulation on the compute pods.
+type MemoryBackend struct {
+	mu     sync.Mutex
+	slices map[string]int // name -> cubes occupied
+	cubes  int
+}
+
+// NewMemoryBackend returns an empty 64-cube pod.
+func NewMemoryBackend() *MemoryBackend {
+	return &MemoryBackend{slices: make(map[string]int), cubes: 64}
+}
+
+// Ensure implements fleet.Backend.
+func (b *MemoryBackend) Ensure(name string, shape topo.Shape, _ []int) (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := shape.Cubes()
+	prev, ok := b.slices[name]
+	b.slices[name] = n
+	return !ok || prev != n, nil
+}
+
+// Destroy implements fleet.Backend.
+func (b *MemoryBackend) Destroy(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.slices, name)
+	return nil
+}
+
+// Slices implements fleet.Backend.
+func (b *MemoryBackend) Slices() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.slices))
+	for n := range b.slices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Info implements fleet.Backend.
+func (b *MemoryBackend) Info() fleet.PodInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	used := 0
+	names := make([]string, 0, len(b.slices))
+	for n, c := range b.slices {
+		used += c
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return fleet.PodInfo{InstalledCubes: b.cubes, FreeCubes: b.cubes - used, Slices: names}
+}

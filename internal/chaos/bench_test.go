@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"lightwave/internal/fleet"
+	"lightwave/internal/topo"
+)
+
+// BenchmarkScenarioReplay measures fault-schedule throughput through the
+// injector against a live fleet control plane: events per second of
+// pod-loss/restore cycles plus trunk transients, the dominant cost of a
+// long random-scenario replay (the flow simulations are benchmarked in
+// internal/dcn).
+func BenchmarkScenarioReplay(b *testing.B) {
+	m := fleet.NewManager(fleet.Options{
+		BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
+		QuarantineAfter: 3, Seed: 42,
+	})
+	defer m.Close()
+	be := NewFaultyBackend(NewMemoryBackend())
+	if err := m.AddPod("pod0", be); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SetSliceIntent("pod0", fleet.SliceIntent{
+		Name: "job", Shape: topo.Shape{X: 4, Y: 4, Z: 4},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	inj, err := NewInjector(Targets{Fleet: m, Backends: map[string]*FaultyBackend{"pod0": be}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := Compose("bench",
+		FlapStorm([][2]int{{0, 1}, {2, 3}, {1, 2}, {0, 3}}, 1, 5, 10, 600),
+		Scenario{Name: "ber", HorizonSeconds: 600, Events: []Event{
+			{At: 2, Kind: KindBERDegrade, Trunk: [2]int{0, 2}, BER: 5e-4, DurationSeconds: 10},
+			{At: 3, Kind: KindBERDegrade, Trunk: [2]int{1, 3}, BER: 1e-6, DurationSeconds: 10},
+		}},
+	)
+	acts := s.actions()
+	b.ReportMetric(float64(len(acts)), "events/replay")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range acts {
+			if a.lift {
+				if err := inj.Lift(a.ev); err != nil {
+					b.Fatal(err)
+				}
+			} else if err := inj.Apply(a.ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkInjectorHotPath pins the trunk fault path at zero allocations:
+// counters are pre-resolved at construction, bookkeeping reuses map
+// slots, so storms of flaps cost no garbage.
+func BenchmarkInjectorHotPath(b *testing.B) {
+	m := fleet.NewManager(fleet.Options{Seed: 42})
+	defer m.Close()
+	inj, err := NewInjector(Targets{Fleet: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair := [2]int{3, 5}
+	inj.TrunkDown(pair) // warm the map slot
+	inj.TrunkUp(pair)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.TrunkDown(pair)
+		inj.TrunkUp(pair)
+	}
+}

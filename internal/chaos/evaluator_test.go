@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"lightwave/internal/par"
+)
+
+// outageCfg is the shared single-OCS-outage replay: the switch dies in
+// epoch 1 and is field-repaired in epoch 4 of a 6-epoch horizon. High
+// load makes the capacity dip visible in delivered goodput.
+func outageCfg() EvalConfig {
+	return EvalConfig{
+		Scenario:     SingleOCSOutage(2, 70, 180, 360),
+		Blocks:       6,
+		Uplinks:      6,
+		LoadFraction: 0.9,
+		Seed:         7,
+	}
+}
+
+func TestEvaluateDeterministicAcrossWorkers(t *testing.T) {
+	texts := make([]string, 0, 3)
+	for _, workers := range []int{1, 4, 8} {
+		prev := par.SetWorkers(workers)
+		rep, err := Evaluate(outageCfg())
+		par.SetWorkers(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		texts = append(texts, rep.Text())
+	}
+	if texts[0] != texts[1] || texts[1] != texts[2] {
+		t.Fatalf("reports differ across worker counts:\n-- 1 --\n%s\n-- 4 --\n%s\n-- 8 --\n%s",
+			texts[0], texts[1], texts[2])
+	}
+}
+
+func TestSingleOCSOutageBoundedCapacityCost(t *testing.T) {
+	rep, err := Evaluate(outageCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 6 || rep.EventsApplied != 2 {
+		t.Fatalf("epochs/events = %d/%d, want 6/2", rep.Epochs, rep.EventsApplied)
+	}
+	if rep.BlackoutEpochs != 0 {
+		t.Fatalf("%d blackout epochs: a single OCS loss must never partition the fabric", rep.BlackoutEpochs)
+	}
+	// The capacity cost is bounded: one switch is ~1/8 of this fabric, and
+	// transit routing absorbs part of the loss.
+	if rep.MinGoodputFraction < 0.5 {
+		t.Fatalf("min goodput fraction %.4f: dip deeper than the failed switch's capacity share", rep.MinGoodputFraction)
+	}
+	if rep.MinGoodputFraction >= 1 {
+		t.Fatalf("min goodput fraction %.4f: outage left no measurable dip", rep.MinGoodputFraction)
+	}
+	// The control plane heals around the outage within the replay: the
+	// dip must close (MTTR measured, not -1) and within a few epochs.
+	if rep.CapacityMTTRSeconds < 0 || rep.CapacityMTTRSeconds > 3*60 {
+		t.Fatalf("capacity MTTR %.0fs, want recovered within 3 epochs", rep.CapacityMTTRSeconds)
+	}
+	// A fabric fault must not touch compute pods.
+	for _, p := range rep.Pods {
+		if p.Quarantines != 0 || p.ReconcileErrors != 0 {
+			t.Errorf("pod %s saw %d errors / %d quarantines from a fabric fault",
+				p.Pod, p.ReconcileErrors, p.Quarantines)
+		}
+	}
+	if !rep.QuarantineBudgetOK {
+		t.Error("quarantine budget flagged with no quarantines")
+	}
+}
+
+func TestQuarantineDrillBudgetAndMTTR(t *testing.T) {
+	cfg := EvalConfig{
+		Scenario: QuarantineDrill("pod1", 30, 120, 300),
+		Blocks:   4, Uplinks: 4,
+		Seed: 11,
+	}
+	rep, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drilled *PodOutcome
+	for i := range rep.Pods {
+		if rep.Pods[i].Pod == "pod1" {
+			drilled = &rep.Pods[i]
+		} else if rep.Pods[i].Quarantines != 0 || rep.Pods[i].ReconcileErrors != 0 {
+			t.Errorf("bystander %s saw %d errors / %d quarantines",
+				rep.Pods[i].Pod, rep.Pods[i].ReconcileErrors, rep.Pods[i].Quarantines)
+		}
+	}
+	if drilled == nil {
+		t.Fatal("pod1 missing from report")
+	}
+	// Quarantine fires only after the configured failure budget: exactly
+	// QuarantineAfter errors, one quarantine, one recovery.
+	if drilled.ReconcileErrors != cfg.withDefaults().QuarantineAfter {
+		t.Errorf("reconcile errors = %d, want %d", drilled.ReconcileErrors, cfg.withDefaults().QuarantineAfter)
+	}
+	if drilled.Quarantines != 1 || drilled.Recoveries != 1 {
+		t.Errorf("quarantines/recoveries = %d/%d, want 1/1", drilled.Quarantines, drilled.Recoveries)
+	}
+	if !drilled.BudgetRespected || !rep.QuarantineBudgetOK {
+		t.Error("quarantine fired off-budget")
+	}
+	if drilled.MTTRSeconds != 120 {
+		t.Errorf("pod MTTR = %.0fs, want the scripted 120s", drilled.MTTRSeconds)
+	}
+	// A pure control-plane fault leaves the data plane whole.
+	if rep.MinGoodputFraction < 1 {
+		t.Errorf("min goodput fraction %.4f, want 1 (backend faults cost no capacity)", rep.MinGoodputFraction)
+	}
+}
+
+// TestEvaluateFullScenarioAllKinds replays every fault kind in one
+// composed scenario — the -race deadlock canary: each injection path
+// crosses injector, fleet and te locks, and every settle must terminate.
+func TestEvaluateFullScenarioAllKinds(t *testing.T) {
+	s := Compose("all-kinds",
+		SingleOCSOutage(1, 70, 120, 480),
+		QuarantineDrill("pod0", 100, 90, 480),
+		FlapStorm([][2]int{{0, 1}, {2, 3}}, 150, 20, 30, 480),
+		MaintenanceWindow("pod2", 5, 200, 80, 480, false),
+		MaintenanceWindow("pod3", 6, 260, 0, 480, true),
+		Scenario{Name: "ber", HorizonSeconds: 480, Events: []Event{
+			{At: 310, Kind: KindBERDegrade, Trunk: [2]int{1, 3}, BER: 5e-4, DurationSeconds: 40},
+			{At: 330, Kind: KindBERDegrade, Trunk: [2]int{0, 2}, BER: 1e-6, DurationSeconds: 40},
+		}},
+	)
+	rep, err := Evaluate(EvalConfig{Scenario: s, Blocks: 6, Uplinks: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EventsApplied < 10 {
+		t.Fatalf("only %d actions applied", rep.EventsApplied)
+	}
+	if !rep.QuarantineBudgetOK {
+		t.Error("quarantine budget violated in composed scenario")
+	}
+	if !strings.Contains(rep.Text(), "pod pod3: ") {
+		t.Error("report missing per-pod lines")
+	}
+}
+
+func TestRandomScenarioReplays(t *testing.T) {
+	s, err := Random(RandomConfig{
+		HorizonSeconds: 300, Blocks: 6, OCSes: 8,
+		Pods: []string{"pod0", "pod1", "pod2", "pod3"},
+		Seed: 19, MaxEvents: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(EvalConfig{Scenario: s, Blocks: 6, Uplinks: 6, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 5 {
+		t.Fatalf("epochs = %d, want 5", rep.Epochs)
+	}
+	if !rep.QuarantineBudgetOK {
+		t.Error("quarantine budget violated in random scenario")
+	}
+}
+
+func TestCapacityMTTRSeries(t *testing.T) {
+	cases := []struct {
+		fracs []float64
+		want  float64
+	}{
+		{[]float64{1, 1, 1}, 0},
+		{[]float64{1, 0.8, 1, 1}, 60},
+		{[]float64{1, 0.8, 0.7, 1}, 120},
+		{[]float64{1, 0.8, 0.9}, -1},
+		{[]float64{0.5, 1}, 60},
+	}
+	for i, c := range cases {
+		if got := capacityMTTR(c.fracs, 0.99, 60); got != c.want {
+			t.Errorf("case %d: mttr = %g, want %g", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lightwave/internal/dcn"
+	"lightwave/internal/fleet"
+	"lightwave/internal/telemetry"
+	"lightwave/internal/topo"
+)
+
+// testFleet builds a one-pod manager with an injectable backend and a
+// standing slice intent, plus an injector over it (no fabric).
+func testFleet(t *testing.T) (*fleet.Manager, *FaultyBackend, *Injector) {
+	t.Helper()
+	m := fleet.NewManager(fleet.Options{
+		BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
+		QuarantineAfter: 3, Seed: 42,
+	})
+	t.Cleanup(m.Close)
+	b := NewFaultyBackend(NewMemoryBackend())
+	if err := m.AddPod("pod0", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetSliceIntent("pod0", fleet.SliceIntent{
+		Name: "job", Shape: topo.Shape{X: 4, Y: 4, Z: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewInjector(Targets{Fleet: m, Backends: map[string]*FaultyBackend{"pod0": b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, b, inj
+}
+
+func waitPod(t *testing.T, m *fleet.Manager, pred func(fleet.PodStatus) bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, p := range m.Status().Pods {
+			if p.Name == "pod0" && pred(p) {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func TestInjectorPodLossQuarantinesThenRecovers(t *testing.T) {
+	m, b, inj := testFleet(t)
+	waitPod(t, m, func(p fleet.PodStatus) bool { return p.Converged }, "setup")
+
+	if err := inj.Apply(Event{Kind: KindPodLoss, Pod: "pod0"}); err != nil {
+		t.Fatal(err)
+	}
+	waitPod(t, m, func(p fleet.PodStatus) bool { return p.Quarantined }, "quarantine")
+	if !b.Failed() {
+		t.Fatal("backend not failed after pod-loss")
+	}
+	st := inj.Status()
+	if st.ActiveFaults != 1 || st.InjectedTotal != 1 {
+		t.Fatalf("status = %+v, want 1 active / 1 injected", st)
+	}
+
+	if err := inj.Apply(Event{Kind: KindPodRestore, Pod: "pod0"}); err != nil {
+		t.Fatal(err)
+	}
+	waitPod(t, m, func(p fleet.PodStatus) bool { return p.Converged && !p.Quarantined }, "recovery")
+	if st := inj.Status(); st.ActiveFaults != 0 {
+		t.Fatalf("active faults = %d after restore, want 0", st.ActiveFaults)
+	}
+	// Restoring a healthy pod is a no-op, not a double-count.
+	if err := inj.Apply(Event{Kind: KindPodRestore, Pod: "pod0"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := inj.Status(); st.ActiveFaults != 0 {
+		t.Fatalf("active faults = %d after redundant restore, want 0", st.ActiveFaults)
+	}
+}
+
+func TestInjectorRejectsUnknownTargets(t *testing.T) {
+	_, _, inj := testFleet(t)
+	if err := inj.Apply(Event{Kind: KindPodLoss, Pod: "ghost"}); !errors.Is(err, ErrTarget) {
+		t.Errorf("unknown pod: err = %v, want ErrTarget", err)
+	}
+	if err := inj.Apply(Event{Kind: KindOCSOutage, OCS: 0}); !errors.Is(err, ErrTarget) {
+		t.Errorf("no fabric: err = %v, want ErrTarget", err)
+	}
+	if _, err := NewInjector(Targets{}); !errors.Is(err, ErrTarget) {
+		t.Errorf("no fleet: err = %v, want ErrTarget", err)
+	}
+}
+
+func TestInjectorTrunkBookkeeping(t *testing.T) {
+	_, _, inj := testFleet(t)
+	top, err := dcn.UniformMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj.TrunkDown([2]int{1, 0}) // reversed pair normalizes
+	inj.TrunkDown([2]int{0, 1})
+	deg := inj.Degraded(top)
+	want := top.Links[0][1] - 2
+	if want < 0 {
+		want = 0
+	}
+	if deg.Links[0][1] != want || deg.Links[1][0] != want {
+		t.Fatalf("degraded [0][1] = %d/%d, want %d", deg.Links[0][1], deg.Links[1][0], want)
+	}
+	if st := inj.Status(); st.TrunksDown != 2 {
+		t.Fatalf("trunks down = %d, want 2", st.TrunksDown)
+	}
+
+	inj.TrunkUp([2]int{0, 1})
+	inj.TrunkUp([2]int{0, 1})
+	inj.TrunkUp([2]int{0, 1}) // extra lift is a no-op, never negative
+	if st := inj.Status(); st.TrunksDown != 0 || st.ActiveFaults != 0 {
+		t.Fatalf("status after lifts = %+v, want all clear", st)
+	}
+	if deg := inj.Degraded(top); deg.Links[0][1] != top.Links[0][1] {
+		t.Fatalf("degraded [0][1] = %d after lifts, want %d", deg.Links[0][1], top.Links[0][1])
+	}
+}
+
+func TestInjectorBERPolicy(t *testing.T) {
+	_, _, inj := testFleet(t)
+	alerts := &telemetry.MemorySink{}
+	det := telemetry.NewDetector("ber", alerts)
+	det.HardLimit = KP4BERLimit
+	inj.t.Detector = det
+	top, err := dcn.UniformMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Below the KP4 limit: observed, not drained.
+	below := Event{Kind: KindBERDegrade, Trunk: [2]int{0, 1}, BER: 1e-6, DurationSeconds: 5}
+	if err := inj.Apply(below); err != nil {
+		t.Fatal(err)
+	}
+	if st := inj.Status(); st.TrunksDown != 0 {
+		t.Fatalf("sub-limit BER drained a trunk: %+v", st)
+	}
+	if err := inj.Lift(below); err != nil {
+		t.Fatal(err)
+	}
+
+	// At the limit: the trunk drains for the duration and the detector
+	// posts a critical alert.
+	at := Event{Kind: KindBERDegrade, Trunk: [2]int{0, 1}, BER: KP4BERLimit * 2, DurationSeconds: 5}
+	if err := inj.Apply(at); err != nil {
+		t.Fatal(err)
+	}
+	if deg := inj.Degraded(top); deg.Links[0][1] != top.Links[0][1]-1 {
+		t.Fatalf("limit-exceeding BER did not drain the trunk")
+	}
+	found := false
+	for _, a := range alerts.Alerts() {
+		if a.Severity == telemetry.Critical {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no critical alert for a BER beyond the hard limit")
+	}
+	if err := inj.Lift(at); err != nil {
+		t.Fatal(err)
+	}
+	if st := inj.Status(); st.TrunksDown != 0 {
+		t.Fatalf("trunk still down after lift: %+v", st)
+	}
+}
+
+func TestInjectorApplyLiveLiftsTransients(t *testing.T) {
+	_, _, inj := testFleet(t)
+	ev := Event{Kind: KindCircuitFlap, Trunk: [2]int{2, 3}, DurationSeconds: 0.02}
+	if err := inj.ApplyLive(ev); err != nil {
+		t.Fatal(err)
+	}
+	if st := inj.Status(); st.TrunksDown != 1 {
+		t.Fatalf("trunks down = %d right after ApplyLive, want 1", st.TrunksDown)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for inj.Status().TrunksDown != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flap never lifted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestInjectorOCSOutageHealCycle(t *testing.T) {
+	cfg := EvalConfig{Scenario: Scenario{Name: "unused", HorizonSeconds: 60}}.withDefaults()
+	h, err := newHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.close()
+	if err := h.converge(); err != nil {
+		t.Fatal(err)
+	}
+	intended := h.loop.Current()
+	full := trunkTotal(h.inj.Degraded(intended))
+
+	if err := h.inj.Apply(Event{Kind: KindOCSOutage, OCS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.settle(allSettled, "outage"); err != nil {
+		t.Fatal(err)
+	}
+	if got := trunkTotal(h.inj.Degraded(intended)); got >= full {
+		t.Fatalf("degraded trunks = %d after outage, want < %d", got, full)
+	}
+	// Idempotent: a second outage of the same switch changes nothing.
+	if err := h.inj.Apply(Event{Kind: KindOCSOutage, OCS: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The owed heal re-places lost trunks on the surviving switches.
+	if err := h.inj.Heal(intended); err != nil {
+		t.Fatal(err)
+	}
+	if got := trunkTotal(h.inj.Degraded(intended)); got != full {
+		t.Fatalf("degraded trunks = %d after heal, want %d", got, full)
+	}
+
+	if err := h.inj.Apply(Event{Kind: KindOCSRestore, OCS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.settle(allSettled, "restore"); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.inj.Status(); st.DownSwitches != 0 {
+		t.Fatalf("down switches = %d after restore, want 0", st.DownSwitches)
+	}
+}
+
+func trunkTotal(t *dcn.Topology) int {
+	n := 0
+	for i := range t.Links {
+		for j := i + 1; j < len(t.Links[i]); j++ {
+			n += t.Links[i][j]
+		}
+	}
+	return n
+}
+
+func TestPerturbObservedDerates(t *testing.T) {
+	_, _, inj := testFleet(t)
+	top, err := dcn.UniformMesh(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.TrunkDown([2]int{0, 1})
+	deg := inj.Degraded(top)
+	bps := [][]float64{
+		{0, 100, 100, 100},
+		{100, 0, 100, 100},
+		{100, 100, 0, 100},
+		{100, 100, 100, 0},
+	}
+	inj.PerturbObserved(bps, top, deg)
+	wantFrac := float64(deg.Links[0][1]) / float64(top.Links[0][1])
+	if bps[0][1] != 100*wantFrac || bps[1][0] != 100*wantFrac {
+		t.Errorf("degraded pair rate = %g/%g, want %g", bps[0][1], bps[1][0], 100*wantFrac)
+	}
+	if bps[2][3] != 100 {
+		t.Errorf("healthy pair rate = %g, want 100", bps[2][3])
+	}
+}

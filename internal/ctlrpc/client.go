@@ -248,6 +248,21 @@ func (c *Client) TEStatus() (TEStatusResult, error) {
 	return r, err
 }
 
+// ChaosStatus fetches the daemon's fault-injection state; Enabled is
+// false when the daemon runs without its chaos flag.
+func (c *Client) ChaosStatus() (ChaosStatusResult, error) {
+	var r ChaosStatusResult
+	err := c.call(MethodChaosStatus, nil, &r)
+	return r, err
+}
+
+// ChaosInject applies one live fault event on the daemon.
+func (c *Client) ChaosInject(p ChaosInjectParams) (ChaosInjectResult, error) {
+	var r ChaosInjectResult
+	err := c.call(MethodChaosInject, p, &r)
+	return r, err
+}
+
 // ObserveBER feeds a BER sample and reports whether it was anomalous.
 func (c *Client) ObserveBER(ocsID, port int, ber float64) (bool, error) {
 	var r ObserveBERResult

@@ -16,8 +16,9 @@ import (
 // the manager is safe for concurrent use and reconciliation runs in its own
 // workers, so slow pods never block the control socket.
 type FleetServer struct {
-	m  *fleet.Manager
-	te TEStatusProvider
+	m     *fleet.Manager
+	te    TEStatusProvider
+	chaos ChaosProvider
 }
 
 // NewFleetServer wraps a fleet manager.
@@ -28,6 +29,10 @@ func NewFleetServer(m *fleet.Manager) *FleetServer {
 // SetTE attaches a topology-engineering status provider. Call before
 // Serve; a nil provider reports TE as disabled.
 func (s *FleetServer) SetTE(p TEStatusProvider) { s.te = p }
+
+// SetChaos attaches a fault-injection provider. Call before Serve; a nil
+// provider reports chaos as disabled and rejects chaos-inject.
+func (s *FleetServer) SetChaos(p ChaosProvider) { s.chaos = p }
 
 // Serve accepts connections until the listener closes or ctx is cancelled.
 func (s *FleetServer) Serve(ctx context.Context, lis net.Listener) error {
@@ -185,6 +190,9 @@ func (s *FleetServer) call(method string, params json.RawMessage) (any, error) {
 			return TEStatusResult{}, nil
 		}
 		return s.te.TEStatus(), nil
+
+	case MethodChaosInject, MethodChaosStatus:
+		return chaosCall(s.chaos, method, func(v any) error { return json.Unmarshal(params, v) })
 
 	default:
 		return nil, fmt.Errorf("unknown method %q", method)

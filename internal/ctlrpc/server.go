@@ -19,6 +19,7 @@ type Server struct {
 	mu     sync.Mutex
 	fabric *core.Fabric
 	te     TEStatusProvider
+	chaos  ChaosProvider
 }
 
 // NewServer wraps a fabric.
@@ -29,6 +30,10 @@ func NewServer(f *core.Fabric) *Server {
 // SetTE attaches a topology-engineering status provider. Call before
 // Serve; a nil provider reports TE as disabled.
 func (s *Server) SetTE(p TEStatusProvider) { s.te = p }
+
+// SetChaos attaches a fault-injection provider. Call before Serve; a nil
+// provider reports chaos as disabled and rejects chaos-inject.
+func (s *Server) SetChaos(p ChaosProvider) { s.chaos = p }
 
 // Serve accepts connections until the listener closes or ctx is cancelled.
 func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
@@ -214,6 +219,9 @@ func (s *Server) call(method string, params json.RawMessage) (any, error) {
 			return TEStatusResult{}, nil
 		}
 		return s.te.TEStatus(), nil
+
+	case MethodChaosInject, MethodChaosStatus:
+		return chaosCall(s.chaos, method, func(v any) error { return json.Unmarshal(params, v) })
 
 	case MethodReshape:
 		var p ReshapeParams

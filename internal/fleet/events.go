@@ -21,6 +21,9 @@ const (
 	EventReconcileError EventType = "reconcile-error"
 	// EventQuarantined: a pod exhausted its retry budget.
 	EventQuarantined EventType = "quarantined"
+	// EventRecovered: a previously quarantined pod converged again after
+	// its backend recovered and UndrainPod released the quarantine.
+	EventRecovered EventType = "recovered"
 	// EventDrained / EventUndrained: pod- or OCS-level maintenance drains.
 	EventDrained   EventType = "drained"
 	EventUndrained EventType = "undrained"

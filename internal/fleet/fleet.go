@@ -101,7 +101,8 @@ type pod struct {
 	drained      bool
 	drainedOCS   map[int]bool
 	quarantined  bool
-	failures     int // consecutive reconcile failures
+	recovering   bool // quarantine released; next convergence is a recovery
+	failures     int  // consecutive reconcile failures
 	gen          uint64
 	dirty        bool
 	dirtySince   time.Time
@@ -363,9 +364,25 @@ func (m *Manager) UndrainPod(podName string) error {
 		p.pendingReady[name] = true
 	}
 	if wasQuarantined {
+		p.recovering = true
 		m.quarantinedPods.Set(float64(m.quarantinedLocked()))
 	}
 	m.emitLocked(Event{Pod: podName, Type: EventUndrained})
+	m.markDirtyLocked(p)
+	return nil
+}
+
+// Poke marks a pod dirty without changing its intent — the hook external
+// health probes (and internal/chaos's injector) use to demand a fresh
+// reconcile pass when a backend is suspected dead. The pass either
+// reconverges or starts the retry/quarantine path.
+func (m *Manager) Poke(podName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, err := m.podLocked(podName)
+	if err != nil {
+		return err
+	}
 	m.markDirtyLocked(p)
 	return nil
 }

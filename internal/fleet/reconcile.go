@@ -122,6 +122,14 @@ func (m *Manager) finishPass(p *pod, gen uint64, res reconcileResult, drained bo
 	if drained {
 		detail = "drained"
 	}
+	if p.recovering {
+		// The pod was quarantined, the quarantine was released, and it has
+		// now reconciled back to its intent: the recovery edge, distinct
+		// from an ordinary convergence so operators (and internal/chaos's
+		// MTTR accounting) can see faults close out.
+		p.recovering = false
+		m.emitLocked(Event{Pod: p.name, Type: EventRecovered, Detail: detail})
+	}
 	m.emitLocked(Event{Pod: p.name, Type: EventConverged, Detail: detail})
 	return true
 }

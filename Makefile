@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race race-par race-te race-chaos bench bench-sim bench-dcn bench-te bench-chaos profile-dcn experiments clean
+.PHONY: check vet build test race race-par race-te race-chaos race-sched bench bench-sim bench-dcn bench-te bench-chaos bench-sched profile-dcn experiments clean
 
 # The gate every change must pass: vet, build everything, race-test the
 # parallel engine under contention, race-test the TE loop (its Loop is
 # shared between the runner goroutine and status serving), race-test the
 # chaos subsystem (its injector threads live reconciler workers through
-# scenario replays), then race-test everything.
-check: vet build race-par race-te race-chaos race
+# scenario replays), race-test the online scheduler (its Scheduler is
+# shared between the runner tick loop, fleet-event feedback, and RPC
+# status/submit), then race-test everything.
+check: vet build race-par race-te race-chaos race-sched race
 
 race-par:
 	$(GO) test -race ./internal/par/...
@@ -17,6 +19,9 @@ race-te:
 
 race-chaos:
 	$(GO) test -race ./internal/chaos/...
+
+race-sched:
+	$(GO) test -race ./internal/sched/... ./internal/superpod/...
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +70,13 @@ bench-te:
 # in-repo.
 bench-chaos:
 	$(GO) test -json -run '^$$' -bench 'ScenarioReplay|InjectorHotPath' -benchmem -count=5 ./internal/chaos > BENCH_chaos.json
+
+# Repeated runs of the online-scheduler hot paths in machine-readable form:
+# the steady-state submit/advance loop (SchedulerHotPath) and the bare
+# placement decision per policy (PlacementDecision). Commit BENCH_sched.json
+# so the per-job scheduling overhead is tracked in-repo.
+bench-sched:
+	$(GO) test -json -run '^$$' -bench 'SchedulerHotPath|PlacementDecision' -benchmem -count=5 ./internal/sched > BENCH_sched.json
 
 profile-dcn:
 	$(GO) test -run '^$$' -bench 'DCNTopologyEngineering' -benchtime 5x -cpuprofile dcn.cpuprof -o dcn.test .

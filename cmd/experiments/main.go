@@ -36,7 +36,7 @@ func main() {
 		{"fig15b", "goodput vs slice size", fig15b},
 		{"dcn", "spine-free DCN savings and topology engineering", dcnExperiment},
 		{"deploy", "deployment modularity and bidi savings", deployExperiment},
-		{"sched", "scheduler utilization comparison", schedExperiment},
+		{"sched", "live fleet-integrated scheduler utilization comparison", schedExperiment},
 		{"fig2", "hybrid ICI-DCN collective", fig2Experiment},
 		{"tablec1", "OCS technology comparison", tableC1},
 		{"reliability", "OCS lifetime and field availability", reliabilityExperiment},

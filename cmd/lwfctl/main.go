@@ -83,7 +83,10 @@ chaos commands (daemon must run with -chaos):
   chaos inject circuit-flap <blockA> <blockB> <seconds>
   chaos inject ber-degrade <a> <b> <ber> [seconds]   (a,b = block pair on lwfleetd, ocs/port on lwfd)
   chaos inject slow-drain <pod> <ocs> <seconds>
-  chaos inject stuck-drain <pod> <ocs>`)
+  chaos inject stuck-drain <pod> <ocs>
+sched commands (lwfleetd must run with -sched):
+  sched status
+  sched submit <cubes> <seconds>`)
 }
 
 func dispatch(c *ctlrpc.Client, args []string) error {
@@ -236,6 +239,12 @@ func dispatch(c *ctlrpc.Client, args []string) error {
 			return fmt.Errorf("chaos needs a subcommand (status, inject)")
 		}
 		return dispatchChaos(c, args[1:])
+
+	case "sched":
+		if len(args) < 2 {
+			return fmt.Errorf("sched needs a subcommand (status, submit)")
+		}
+		return dispatchSched(c, args[1:])
 
 	case "observe-ber":
 		if len(args) != 4 {

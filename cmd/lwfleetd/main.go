@@ -15,9 +15,16 @@
 // for live fleet-plane fault drills; without the flag those RPCs are
 // rejected.
 //
+// With -sched the daemon runs the online §4.2.4 slice scheduler
+// (internal/sched via internal/superpod): a synthetic job stream is
+// scheduled onto the superpod fabrics through the fleet reconciler, fleet
+// quarantine/recovery events feed back as pod down/up transitions, and the
+// sched-status / sched-submit RPCs (lwfctl sched ...) expose the loop;
+// without the flag those RPCs report the scheduler disabled.
+//
 // Usage:
 //
-//	lwfleetd -addr 127.0.0.1:7700 -pods 4 -cubes 64 [-metrics-addr 127.0.0.1:7780] [-te-epoch 2s] [-chaos]
+//	lwfleetd -addr 127.0.0.1:7700 -pods 4 -cubes 64 [-metrics-addr 127.0.0.1:7780] [-te-epoch 2s] [-chaos] [-sched]
 package main
 
 import (
@@ -39,6 +46,8 @@ import (
 	"lightwave/internal/ocs"
 	"lightwave/internal/optics"
 	"lightwave/internal/par"
+	"lightwave/internal/sched"
+	"lightwave/internal/superpod"
 	"lightwave/internal/te"
 	"lightwave/internal/telemetry"
 )
@@ -53,11 +62,38 @@ func main() {
 	teBlocks := flag.Int("te-blocks", 8, "aggregation blocks in the TE loop's DCN fabric")
 	teUplinks := flag.Int("te-uplinks", 14, "uplinks per block in the TE loop's DCN fabric")
 	chaosOn := flag.Bool("chaos", false, "enable fault injection (chaos-inject / chaos-status RPCs)")
+	schedOn := flag.Bool("sched", false, "run the online slice scheduler (sched-status / sched-submit RPCs)")
+	schedTick := flag.Duration("sched-tick", 2*time.Second, "scheduler wall-clock tick; each tick advances one virtual minute")
 	flag.Parse()
 
-	if err := run(*addr, *metricsAddr, *pods, *cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks, *chaosOn); err != nil {
+	if err := run(*addr, *metricsAddr, *pods, *cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks, *chaosOn, *schedOn, *schedTick); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// startSched runs the online slice scheduler over the superpod pods in the
+// background. The runner submits synthetic jobs from the production mix,
+// places them as slice intents through the manager, and follows fleet
+// quarantine/recovery events; the returned scheduler serves sched-status /
+// sched-submit.
+func startSched(ctx context.Context, m *fleet.Manager, podNames []string, cubes int, tick time.Duration) (*sched.Scheduler, error) {
+	runner, err := superpod.NewRunner(superpod.RunnerConfig{
+		Manager:        m,
+		Pods:           podNames,
+		InstalledCubes: cubes,
+		Interval:       tick,
+		VirtualPerTick: 60,
+		Seed:           1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := runner.Run(ctx); err != nil {
+			log.Printf("lwfleetd: sched loop stopped: %v", err)
+		}
+	}()
+	return runner.Scheduler(), nil
 }
 
 // startTE registers a DCN fabric as the "dcn" pod and ticks the TE loop
@@ -146,15 +182,17 @@ func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alert
 	return m, injectable, nil
 }
 
-func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int, chaosOn bool) error {
+func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int, chaosOn bool, schedOn bool, schedTick time.Duration) error {
 	reg := telemetry.NewRegistry()
 	// Simulation fan-out (Monte Carlo, sweeps), the DCN flow simulator,
-	// the TE loop and fault injection share the fleet registry so par_*,
-	// dcn_flowsim_*, te_* and chaos_* counters show up on /metrics.
+	// the TE loop, fault injection and the slice scheduler share the fleet
+	// registry so par_*, dcn_flowsim_*, te_*, chaos_* and sched_* counters
+	// show up on /metrics.
 	par.SetRegistry(reg)
 	dcn.SetRegistry(reg)
 	te.SetRegistry(reg)
 	chaos.SetRegistry(reg)
+	sched.SetRegistry(reg)
 	alerts := telemetry.SinkFunc(func(a telemetry.Alert) {
 		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
 	})
@@ -210,6 +248,19 @@ func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch 
 		}
 		srv.SetChaos(ctlrpc.InjectorProvider{In: inj})
 		log.Printf("lwfleetd: fault injection enabled (%d injectable pods)", len(injectable))
+	}
+	if schedOn {
+		podNames := make([]string, pods)
+		for i := range podNames {
+			podNames[i] = fmt.Sprintf("pod%d", i)
+		}
+		s, err := startSched(ctx, m, podNames, cubes, schedTick)
+		if err != nil {
+			return fmt.Errorf("starting sched loop: %w", err)
+		}
+		srv.SetSched(ctlrpc.SchedulerProvider{S: s})
+		log.Printf("lwfleetd: slice scheduler on %d pods (tick %s, policy %s)",
+			pods, schedTick, s.Policy())
 	}
 	return srv.Serve(ctx, lis)
 }

@@ -11,6 +11,7 @@ import (
 	"lightwave/internal/chaos"
 	"lightwave/internal/dcn"
 	"lightwave/internal/fleet"
+	"lightwave/internal/sched"
 	"lightwave/internal/telemetry"
 	"lightwave/internal/topo"
 )
@@ -178,5 +179,64 @@ func TestFlowSimCountersOnMetrics(t *testing.T) {
 	}
 	if reg.Counter("dcn_flowsim_events_total").Value() == 0 {
 		t.Error("dcn_flowsim_events_total stayed zero across a simulation run")
+	}
+}
+
+// TestSchedCountersOnMetrics mirrors run()'s -sched wiring: the background
+// scheduler loop must surface its sched_* counters on the shared /metrics
+// registry, and they must move once the job stream starts placing.
+func TestSchedCountersOnMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sched.SetRegistry(reg)
+	defer sched.SetRegistry(nil)
+
+	m, _, err := buildFleet(2, 8, "2x200G-bidi-CWDM4", reg, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := startSched(ctx, m, []string{"pod0", "pod1"}, 8, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy() != "reconfigurable" {
+		t.Fatalf("default policy = %q", s.Policy())
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Counter("sched_started_total").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler placed nothing: %+v", s.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	lis, err := reg.ServeMetrics(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + lis.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"sched_submitted_total",
+		"sched_started_total",
+		"sched_queue_depth",
+		"sched_running_jobs",
+		"sched_utilization",
+		"sched_wait_seconds",
+	} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("exposition missing %s", name)
+		}
 	}
 }

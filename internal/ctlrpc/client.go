@@ -263,6 +263,21 @@ func (c *Client) ChaosInject(p ChaosInjectParams) (ChaosInjectResult, error) {
 	return r, err
 }
 
+// SchedStatus fetches the daemon's slice-scheduler state; Enabled is
+// false when the daemon runs no scheduler loop.
+func (c *Client) SchedStatus() (SchedStatusResult, error) {
+	var r SchedStatusResult
+	err := c.call(MethodSchedStatus, nil, &r)
+	return r, err
+}
+
+// SchedSubmit enqueues one job on the daemon's scheduler.
+func (c *Client) SchedSubmit(cubes int, durationSeconds float64) (SchedSubmitResult, error) {
+	var r SchedSubmitResult
+	err := c.call(MethodSchedSubmit, SchedSubmitParams{Cubes: cubes, DurationSeconds: durationSeconds}, &r)
+	return r, err
+}
+
 // ObserveBER feeds a BER sample and reports whether it was anomalous.
 func (c *Client) ObserveBER(ocsID, port int, ber float64) (bool, error) {
 	var r ObserveBERResult

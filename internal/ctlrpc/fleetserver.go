@@ -19,6 +19,7 @@ type FleetServer struct {
 	m     *fleet.Manager
 	te    TEStatusProvider
 	chaos ChaosProvider
+	sched SchedProvider
 }
 
 // NewFleetServer wraps a fleet manager.
@@ -33,6 +34,10 @@ func (s *FleetServer) SetTE(p TEStatusProvider) { s.te = p }
 // SetChaos attaches a fault-injection provider. Call before Serve; a nil
 // provider reports chaos as disabled and rejects chaos-inject.
 func (s *FleetServer) SetChaos(p ChaosProvider) { s.chaos = p }
+
+// SetSched attaches a slice-scheduler provider. Call before Serve; a nil
+// provider reports the scheduler disabled and rejects sched-submit.
+func (s *FleetServer) SetSched(p SchedProvider) { s.sched = p }
 
 // Serve accepts connections until the listener closes or ctx is cancelled.
 func (s *FleetServer) Serve(ctx context.Context, lis net.Listener) error {
@@ -193,6 +198,9 @@ func (s *FleetServer) call(method string, params json.RawMessage) (any, error) {
 
 	case MethodChaosInject, MethodChaosStatus:
 		return chaosCall(s.chaos, method, func(v any) error { return json.Unmarshal(params, v) })
+
+	case MethodSchedStatus, MethodSchedSubmit:
+		return schedCall(s.sched, method, func(v any) error { return json.Unmarshal(params, v) })
 
 	default:
 		return nil, fmt.Errorf("unknown method %q", method)

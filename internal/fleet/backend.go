@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"lightwave/internal/core"
@@ -63,6 +64,19 @@ func (b *FabricBackend) Fabric() *core.Fabric { return b.f }
 func (b *FabricBackend) Ensure(name string, shape topo.Shape, cubes []int) (bool, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if len(cubes) > 0 {
+		// Pinned placement. A changed cube set is a migration: tear the old
+		// slice down before recreating (checkpoint/restore semantics), so
+		// chained cube handoffs between slices — even cyclic ones from a
+		// compaction pass — unwind across the reconciler's ensure sweeps.
+		if existing, err := b.f.GetSlice(name); err == nil && !sameCubes(existing.Cubes, cubes) {
+			if derr := b.f.DestroySlice(name); derr != nil {
+				return false, derr
+			}
+			_, _, err := b.f.EnsureSlice(name, shape, cubes)
+			return true, err
+		}
+	}
 	if len(cubes) == 0 {
 		existing, err := b.f.GetSlice(name)
 		switch {
@@ -87,6 +101,23 @@ func (b *FabricBackend) Ensure(name string, shape topo.Shape, cubes []int) (bool
 	return changed, err
 }
 
+// sameCubes reports whether two cube lists are the same set.
+func sameCubes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // place picks cubes for a new slice by mirroring the fabric's free-cube set
 // into a sched.Pod and running the placement policy over it.
 func (b *FabricBackend) place(name string, n int) ([]int, error) {
@@ -109,6 +140,30 @@ func (b *FabricBackend) place(name string, n int) ([]int, error) {
 			name, n, b.placer.Name(), err)
 	}
 	return cubes, nil
+}
+
+// FailCube marks a cube failed on the live fabric, mutex-serialized against
+// the reconcile worker. The fabric auto-swaps a spare into any slice that
+// owned the cube; the return value is the replacement cube id, or -1 when
+// the cube was unowned (see core.Fabric.MarkCubeFailed).
+func (b *FabricBackend) FailCube(cube int) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.f.MarkCubeFailed(cube)
+}
+
+// RepairCube returns a failed cube to service on the live fabric.
+func (b *FabricBackend) RepairCube(cube int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.f.RepairCube(cube)
+}
+
+// CubeHealthy reports a cube's health on the live fabric.
+func (b *FabricBackend) CubeHealthy(cube int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.f.CubeHealthy(cube)
 }
 
 // Destroy implements Backend.

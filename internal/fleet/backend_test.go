@@ -140,3 +140,88 @@ func TestManagerWithFabricBackends(t *testing.T) {
 		t.Fatalf("status = %+v", st)
 	}
 }
+
+func TestFabricBackendCubeFaultSeams(t *testing.T) {
+	b := fabricBackend(t, 8, nil)
+	if _, err := b.Ensure("j", topo.Shape{X: 4, Y: 4, Z: 8}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Failing an owned cube auto-swaps a spare in.
+	rc, err := b.FailCube(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc < 0 {
+		t.Fatalf("no replacement cube for owned failure, got %d", rc)
+	}
+	if b.CubeHealthy(0) {
+		t.Fatal("cube 0 still healthy after FailCube")
+	}
+	sl, err := b.Fabric().GetSlice("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sl.Cubes {
+		if c == 0 {
+			t.Fatalf("failed cube still in slice: %v", sl.Cubes)
+		}
+	}
+	// Failing a free cube reports no replacement.
+	if rc, err := b.FailCube(7); err != nil || rc != -1 {
+		t.Fatalf("free-cube failure = (%d, %v), want (-1, nil)", rc, err)
+	}
+	if err := b.RepairCube(0); err != nil {
+		t.Fatal(err)
+	}
+	if !b.CubeHealthy(0) {
+		t.Fatal("cube 0 unhealthy after repair")
+	}
+}
+
+func TestManagerResolvesCyclicCubeMigration(t *testing.T) {
+	m := NewManager(fastOptions(nil))
+	defer m.Close()
+	b := fabricBackend(t, 4, nil)
+	if err := m.AddPod("p", b); err != nil {
+		t.Fatal(err)
+	}
+	sub := m.Subscribe(64)
+	defer sub.Close()
+	col := &collector{sub: sub}
+	shape := topo.Shape{X: 4, Y: 4, Z: 8}
+	if err := m.SetSliceIntent("p", SliceIntent{Name: "a", Shape: shape, Cubes: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetSliceIntent("p", SliceIntent{Name: "z", Shape: shape, Cubes: []int{2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, 10*time.Second, func(evs []Event) bool {
+		return countEvents(evs, "p", EventSliceReady) >= 2
+	})
+	// Swap the two slices' cubes — a cyclic migration no single ensure
+	// order can satisfy without tearing one down first.
+	if err := m.SetSliceIntent("p", SliceIntent{Name: "a", Shape: shape, Cubes: []int{2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetSliceIntent("p", SliceIntent{Name: "z", Shape: shape, Cubes: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, 10*time.Second, func(evs []Event) bool {
+		st := m.Status()
+		return len(st.Pods) == 1 && st.Pods[0].Converged && !st.Pods[0].Quarantined
+	})
+	sl, err := b.Fabric().GetSlice("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Cubes[0] != 2 || sl.Cubes[1] != 3 {
+		t.Fatalf("slice a cubes = %v, want [2 3]", sl.Cubes)
+	}
+	sl, err = b.Fabric().GetSlice("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Cubes[0] != 0 || sl.Cubes[1] != 1 {
+		t.Fatalf("slice z cubes = %v, want [0 1]", sl.Cubes)
+	}
+}

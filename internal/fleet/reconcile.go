@@ -186,16 +186,34 @@ func reconcile(b Backend, desired map[string]SliceIntent, drained, ocsDrained bo
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		in := desired[name]
-		if ocsDrained && !actual[name] {
-			res.deferred++
-			continue
+	// Ensure with a retry sweep: slice migrations can hand cubes from one
+	// slice to another (defrag compaction, failure swaps), so an ensure may
+	// only become satisfiable after a later ensure in the same pass frees
+	// its cubes. Sweep the blocked set until it drains or stops shrinking;
+	// only a genuinely stuck remainder fails the pass.
+	pending := names
+	for len(pending) > 0 {
+		var blocked []string
+		var firstErr error
+		for _, name := range pending {
+			in := desired[name]
+			if ocsDrained && !actual[name] {
+				res.deferred++
+				continue
+			}
+			if _, err := b.Ensure(in.Name, in.Shape, in.Cubes); err != nil {
+				blocked = append(blocked, name)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("ensure %q: %w", name, err)
+				}
+				continue
+			}
+			res.applied = append(res.applied, name)
 		}
-		if _, err := b.Ensure(in.Name, in.Shape, in.Cubes); err != nil {
-			return res, fmt.Errorf("ensure %q: %w", name, err)
+		if len(blocked) == len(pending) {
+			return res, firstErr
 		}
-		res.applied = append(res.applied, name)
+		pending = blocked
 	}
 	return res, nil
 }

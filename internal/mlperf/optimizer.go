@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lightwave/internal/par"
 	"lightwave/internal/topo"
 )
 
@@ -31,31 +32,25 @@ type SearchResult struct {
 	All []ShapeTime
 }
 
-// OptimizeSlice exhaustively evaluates every slice shape with the given
-// cube count and returns the fastest — the stand-in for the paper's
-// RL-based hardware-optimized NAS [33], exact because the search space is
-// tiny. Shapes whose step time is within Tolerance of the optimum are
-// considered tied; ties resolve toward the most model/data-asymmetric shape
-// (smallest model-parallel dimension, then longest final dimension),
-// matching the production optimizer's preference for long unbroken ring
-// dimensions.
-func (sys System) OptimizeSlice(m LLM, cubes int) (SearchResult, error) {
-	shapes := topo.ShapesFor(cubes)
-	if len(shapes) == 0 {
-		return SearchResult{}, fmt.Errorf("mlperf: no shapes for %d cubes", cubes)
+// evalShape models one candidate shape.
+func (sys System) evalShape(m LLM, sh topo.Shape) ShapeTime {
+	st := ShapeTime{Shape: sh}
+	step, err := sys.StepTime(m, sh)
+	if err != nil {
+		st.Err = err
+	} else {
+		st.Feasible = true
+		st.Step = step
 	}
-	res := SearchResult{Model: m}
-	for _, sh := range shapes {
-		st := ShapeTime{Shape: sh}
-		step, err := sys.StepTime(m, sh)
-		if err != nil {
-			st.Err = err
-		} else {
-			st.Feasible = true
-			st.Step = step
-		}
-		res.All = append(res.All, st)
-	}
+	return st
+}
+
+// finishSearch ranks the evaluated shapes, applies the tie rule, and fills
+// in the static baseline. The caller supplies All in ShapesFor order; the
+// ranking is a stable sort, so sequential and parallel searches finish
+// identically.
+func (sys System) finishSearch(m LLM, cubes int, all []ShapeTime) (SearchResult, error) {
+	res := SearchResult{Model: m, All: all}
 	sort.SliceStable(res.All, func(i, j int) bool {
 		a, b := res.All[i], res.All[j]
 		if a.Feasible != b.Feasible {
@@ -103,6 +98,42 @@ func (sys System) OptimizeSlice(m LLM, cubes int) (SearchResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// OptimizeSlice exhaustively evaluates every slice shape with the given
+// cube count and returns the fastest — the stand-in for the paper's
+// RL-based hardware-optimized NAS [33], exact because the search space is
+// tiny. Shapes whose step time is within Tolerance of the optimum are
+// considered tied; ties resolve toward the most model/data-asymmetric shape
+// (smallest model-parallel dimension, then longest final dimension),
+// matching the production optimizer's preference for long unbroken ring
+// dimensions.
+func (sys System) OptimizeSlice(m LLM, cubes int) (SearchResult, error) {
+	shapes := topo.ShapesFor(cubes)
+	if len(shapes) == 0 {
+		return SearchResult{}, fmt.Errorf("mlperf: no shapes for %d cubes", cubes)
+	}
+	all := make([]ShapeTime, 0, len(shapes))
+	for _, sh := range shapes {
+		all = append(all, sys.evalShape(m, sh))
+	}
+	return sys.finishSearch(m, cubes, all)
+}
+
+// OptimizeSlicePar is OptimizeSlice with the per-shape step-time modeling
+// fanned out through internal/par — bit-identical to the sequential search
+// at any worker count (par.Sweep returns results in input order and the
+// ranking sort is stable). Online schedulers use it so a placement decision
+// does not serialize the shape search on one core.
+func (sys System) OptimizeSlicePar(m LLM, cubes int) (SearchResult, error) {
+	shapes := topo.ShapesFor(cubes)
+	if len(shapes) == 0 {
+		return SearchResult{}, fmt.Errorf("mlperf: no shapes for %d cubes", cubes)
+	}
+	all := par.Sweep("mlperf_optimize", shapes, func(_ int, sh topo.Shape) ShapeTime {
+		return sys.evalShape(m, sh)
+	})
+	return sys.finishSearch(m, cubes, all)
 }
 
 // morePreferred reports whether shape a is preferred over b under the tie

@@ -1,0 +1,47 @@
+package mlperf
+
+import (
+	"reflect"
+	"testing"
+
+	"lightwave/internal/par"
+)
+
+// TestOptimizeSliceParMatchesSequential pins the parallel shape search to
+// the sequential one, bit for bit, across worker counts — a placement
+// decision must not depend on how many cores evaluated the candidates.
+func TestOptimizeSliceParMatchesSequential(t *testing.T) {
+	sys := DefaultSystem()
+	defer par.SetWorkers(par.SetWorkers(1))
+	for _, m := range []LLM{LLM0(), LLM1(), LLM2()} {
+		for _, cubes := range []int{1, 2, 8, 64} {
+			seq, seqErr := sys.OptimizeSlice(m, cubes)
+			for _, workers := range []int{1, 4, 8} {
+				par.SetWorkers(workers)
+				got, err := sys.OptimizeSlicePar(m, cubes)
+				if (err == nil) != (seqErr == nil) {
+					t.Fatalf("%s/%d cubes, %d workers: err %v, sequential err %v",
+						m.Name, cubes, workers, err, seqErr)
+				}
+				if !reflect.DeepEqual(stripErrs(got), stripErrs(seq)) {
+					t.Fatalf("%s/%d cubes, %d workers: parallel result diverged\n%+v\n%+v",
+						m.Name, cubes, workers, got, seq)
+				}
+			}
+		}
+	}
+}
+
+// stripErrs zeroes the error fields (errors.New values compare by pointer)
+// after checking that error presence matches feasibility.
+func stripErrs(r SearchResult) SearchResult {
+	r.Baseline.Err = nil
+	all := make([]ShapeTime, len(r.All))
+	for i, st := range r.All {
+		st.Err = nil
+		all[i] = st
+	}
+	r.All = all
+	r.Best.Err = nil
+	return r
+}

@@ -1,0 +1,75 @@
+package sched
+
+import "testing"
+
+// BenchmarkSchedulerHotPath measures the steady-state submit/advance cycle
+// (mirror-only): one 1-cube job arrives per virtual second with a 50s
+// runtime, so the pod sits at ~50 running jobs with a completion and a
+// placement per iteration. The Makefile's bench-sched target commits the
+// numbers to BENCH_sched.json; the gate is a few allocs/op.
+func BenchmarkSchedulerHotPath(b *testing.B) {
+	s, err := NewScheduler(SchedulerConfig{Pods: []string{"pod0"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := 0.0
+	// Prime to steady state.
+	for i := 0; i < 128; i++ {
+		t++
+		if err := s.AdvanceTo(t); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Submit(JobSpec{Cubes: 1, DurationSeconds: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t++
+		if err := s.AdvanceTo(t); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Submit(JobSpec{Cubes: 1, DurationSeconds: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacementDecision measures one placement decision per policy on
+// a half-loaded fragmented pod — the latency the sched_place_seconds
+// distribution tracks online.
+func BenchmarkPlacementDecision(b *testing.B) {
+	fragment := func() *Pod {
+		p := FullPod()
+		r := Reconfigurable{}
+		for j := 0; j < 32; j++ {
+			if _, err := r.Place(p, j, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 0; j < 32; j += 2 {
+			p.Release(j)
+		}
+		return p
+	}
+	for _, tc := range []struct {
+		name   string
+		placer Placer
+	}{
+		{"reconfigurable", Reconfigurable{}},
+		{"contiguous", Contiguous{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			p := fragment()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.placer.Place(p, 1000, 4); err != nil {
+					b.Fatal(err)
+				}
+				p.Release(1000)
+			}
+		})
+	}
+}

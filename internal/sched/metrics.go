@@ -1,0 +1,31 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"lightwave/internal/telemetry"
+)
+
+// registry holds the subsystem's metrics; swap it with SetRegistry to
+// surface the counters on a daemon's /metrics endpoint.
+var registry atomic.Pointer[telemetry.Registry]
+
+func init() {
+	registry.Store(telemetry.NewRegistry())
+}
+
+// SetRegistry redirects the subsystem's telemetry to r (nil restores a
+// fresh private registry). Daemons call this once at startup so sched_*
+// counters appear alongside their other metrics.
+func SetRegistry(r *telemetry.Registry) {
+	if r == nil {
+		r = telemetry.NewRegistry()
+	}
+	registry.Store(r)
+}
+
+// Registry returns the registry currently receiving the subsystem's
+// metrics.
+func Registry() *telemetry.Registry {
+	return registry.Load()
+}

@@ -122,10 +122,54 @@ func (p *Pod) Release(job int) []int {
 	return freed
 }
 
+// State returns the state of one cube; out-of-range cubes report Failed so
+// callers can treat unknown ids as unusable.
+func (p *Pod) State(cube int) CubeState {
+	if cube < 0 || cube >= len(p.state) {
+		return Failed
+	}
+	return p.state[cube]
+}
+
+// Owner returns the job occupying a cube, or -1 when it is free, failed, or
+// out of range.
+func (p *Pod) Owner(cube int) int {
+	if cube < 0 || cube >= len(p.state) {
+		return -1
+	}
+	return p.owner[cube]
+}
+
+// JobCubes returns the cubes owned by a job, ascending.
+func (p *Pod) JobCubes(job int) []int {
+	var cubes []int
+	for c := range p.state {
+		if p.owner[c] == job {
+			cubes = append(cubes, c)
+		}
+	}
+	return cubes
+}
+
+// clone copies the pod's occupancy state (for scratch planning).
+func (p *Pod) clone() *Pod {
+	return &Pod{
+		Grid:  p.Grid,
+		state: append([]CubeState(nil), p.state...),
+		owner: append([]int(nil), p.owner...),
+	}
+}
+
 // Fail marks a cube failed. If it was busy, the owning job id is returned.
+// Failing an already-failed cube is an idempotent no-op — there is no owner
+// to evict and the repair clock must not restart — reported as
+// (0, false, nil).
 func (p *Pod) Fail(cube int) (job int, wasBusy bool, err error) {
 	if cube < 0 || cube >= len(p.state) {
 		return 0, false, ErrBadCube
+	}
+	if p.state[cube] == Failed {
+		return 0, false, nil
 	}
 	job = p.owner[cube]
 	wasBusy = p.state[cube] == Busy

@@ -1,0 +1,323 @@
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"lightwave/internal/topo"
+)
+
+// fakeOps records ClusterOps calls and tracks the implied slice set.
+type fakeOps struct {
+	calls  []string
+	slices map[string]map[string][]int // pod -> slice -> cubes
+	fail   error
+}
+
+func newFakeOps() *fakeOps { return &fakeOps{slices: map[string]map[string][]int{}} }
+
+func (f *fakeOps) EnsureJobSlice(pod, slice string, shape topo.Shape, cubes []int) error {
+	if f.fail != nil {
+		return f.fail
+	}
+	if shape.Cubes() != len(cubes) {
+		return fmt.Errorf("shape %v does not cover %d cubes", shape, len(cubes))
+	}
+	if f.slices[pod] == nil {
+		f.slices[pod] = map[string][]int{}
+	}
+	f.slices[pod][slice] = append([]int(nil), cubes...)
+	f.calls = append(f.calls, fmt.Sprintf("ensure %s/%s %v", pod, slice, cubes))
+	return nil
+}
+
+func (f *fakeOps) RemoveJobSlice(pod, slice string) error {
+	if f.fail != nil {
+		return f.fail
+	}
+	delete(f.slices[pod], slice)
+	f.calls = append(f.calls, fmt.Sprintf("remove %s/%s", pod, slice))
+	return nil
+}
+
+// names returns the slice names present on a pod, sorted.
+func (f *fakeOps) names(pod string) []string {
+	var out []string
+	for s := range f.slices[pod] {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSchedulerLifecycle(t *testing.T) {
+	ops := newFakeOps()
+	s, err := NewScheduler(SchedulerConfig{Pods: []string{"pod0"}, Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id0, placed, err := s.Submit(JobSpec{Cubes: 8, DurationSeconds: 100})
+	if err != nil || !placed {
+		t.Fatalf("submit = (%d, %v, %v)", id0, placed, err)
+	}
+	id1, placed, err := s.Submit(JobSpec{Cubes: 56, DurationSeconds: 50})
+	if err != nil || !placed {
+		t.Fatalf("submit = (%d, %v, %v)", id1, placed, err)
+	}
+	// Pod is full: a third job queues.
+	id2, placed, err := s.Submit(JobSpec{Cubes: 4, DurationSeconds: 10})
+	if err != nil || placed {
+		t.Fatalf("submit on full pod = (%d, %v, %v)", id2, placed, err)
+	}
+	if got := s.Stats(); got.QueueDepth != 1 || got.RunningJobs != 2 || got.Started != 2 {
+		t.Fatalf("stats %+v", got)
+	}
+	if got := ops.names("pod0"); !reflect.DeepEqual(got, []string{"job-0", "job-1"}) {
+		t.Fatalf("fleet slices %v", got)
+	}
+	// At t=50 job 1 ends, freeing room for job 2 (ends t=60).
+	if err := s.AdvanceTo(70); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Completed != 2 || st.RunningJobs != 1 || st.QueueDepth != 0 {
+		t.Fatalf("stats after advance %+v", st)
+	}
+	if got := ops.names("pod0"); !reflect.DeepEqual(got, []string{"job-0"}) {
+		t.Fatalf("fleet slices %v", got)
+	}
+	if err := s.AdvanceTo(200); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Completed+st.Preempted+st.RunningJobs != st.Started {
+		t.Fatalf("accounting %+v", st)
+	}
+	if len(ops.names("pod0")) != 0 {
+		t.Fatalf("fleet slices %v after drain", ops.names("pod0"))
+	}
+	if err := s.AdvanceTo(100); !errors.Is(err, ErrTimeWarp) {
+		t.Fatalf("AdvanceTo backwards = %v", err)
+	}
+}
+
+func TestSchedulerFailSwapReshapesSlice(t *testing.T) {
+	ops := newFakeOps()
+	s, err := NewScheduler(SchedulerConfig{Pods: []string{"pod0"}, Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := s.Submit(JobSpec{Cubes: 4, DurationSeconds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ops.slices["pod0"][sliceName(id)]
+	if err := s.FailCube("pod0", before[0]); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Swaps != 1 || st.Preempted != 0 || st.RunningJobs != 1 {
+		t.Fatalf("stats after swap %+v", st)
+	}
+	after := ops.slices["pod0"][sliceName(id)]
+	if reflect.DeepEqual(before, after) || len(after) != 4 {
+		t.Fatalf("slice not reshaped: %v -> %v", before, after)
+	}
+	// Double-fail of the same cube is a no-op.
+	if err := s.FailCube("pod0", before[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got.Failures != 1 {
+		t.Fatalf("double fail counted: %+v", got)
+	}
+}
+
+func TestSchedulerFailPreemptsOnStatic(t *testing.T) {
+	ops := newFakeOps()
+	s, err := NewScheduler(SchedulerConfig{Pods: []string{"pod0"}, Placer: Contiguous{}, Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := s.Submit(JobSpec{Cubes: 8, DurationSeconds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubes := ops.slices["pod0"][sliceName(id)]
+	if err := s.FailCube("pod0", cubes[0]); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Preempted != 1 || st.Swaps != 0 || st.RunningJobs != 0 {
+		t.Fatalf("stats after static-fabric failure %+v", st)
+	}
+	if len(ops.names("pod0")) != 0 {
+		t.Fatalf("slice still present after preemption: %v", ops.names("pod0"))
+	}
+	// Repair frees the cube again.
+	if err := s.RepairCube("pod0", cubes[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RepairCube("pod0", cubes[0]); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if got := s.Stats(); got.Repairs != 1 {
+		t.Fatalf("repairs %+v", got)
+	}
+}
+
+func TestSchedulerPodDownPreemptsAndRestores(t *testing.T) {
+	ops := newFakeOps()
+	s, err := NewScheduler(SchedulerConfig{Pods: []string{"a", "b"}, Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill pod a so the second job lands on b.
+	if _, _, err := s.Submit(JobSpec{Cubes: 64, DurationSeconds: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Submit(JobSpec{Cubes: 16, DurationSeconds: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ops.names("b"); !reflect.DeepEqual(got, []string{"job-1"}) {
+		t.Fatalf("pod b slices %v", got)
+	}
+	if err := s.SetPodDown("b", true); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Preempted != 1 || st.RunningJobs != 1 {
+		t.Fatalf("stats after pod loss %+v", st)
+	}
+	// While down, nothing places on b even though it has free cubes.
+	id, placed, err := s.Submit(JobSpec{Cubes: 16, DurationSeconds: 10})
+	if err != nil || placed {
+		t.Fatalf("submit while pod down = (%d, %v, %v)", id, placed, err)
+	}
+	if err := s.SetPodDown("b", false); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got.RunningJobs != 2 || got.QueueDepth != 0 {
+		t.Fatalf("stats after restore %+v", got)
+	}
+	if err := s.SetPodDown("missing", true); !errors.Is(err, ErrUnknownPod) {
+		t.Fatalf("unknown pod error = %v", err)
+	}
+}
+
+func TestSchedulerDefragReplaysMoves(t *testing.T) {
+	ops := newFakeOps()
+	s, err := NewScheduler(SchedulerConfig{
+		Pods:   []string{"pod0"},
+		Placer: ContiguousWithDefrag{}, // normalized to contiguous + defrag
+		Ops:    ops,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy() != "contiguous+defrag" {
+		t.Fatalf("policy %q", s.Policy())
+	}
+	// Checkerboard the pod with 1-cube jobs, then release every other one:
+	// a 32-cube job only fits after compaction.
+	var ids []int
+	for i := 0; i < 64; i++ {
+		id, placed, err := s.Submit(JobSpec{Cubes: 1, DurationSeconds: 1000})
+		if err != nil || !placed {
+			t.Fatalf("fill submit %d = (%v, %v)", i, placed, err)
+		}
+		ids = append(ids, id)
+	}
+	// Complete the even-indexed jobs early by ending them at t=1.
+	for i, id := range ids {
+		if i%2 == 0 {
+			s.mu.Lock()
+			rj := s.running[id]
+			rj.end = 1
+			heap.Fix(&s.done, rj.heapIdx)
+			s.mu.Unlock()
+		}
+	}
+	if err := s.AdvanceTo(2); err != nil {
+		t.Fatal(err)
+	}
+	id, placed, err := s.Submit(JobSpec{Cubes: 32, DurationSeconds: 10})
+	if err != nil || !placed {
+		t.Fatalf("large submit = (%d, %v, %v)", id, placed, err)
+	}
+	st := s.Stats()
+	if st.MigratedCubes == 0 {
+		t.Fatalf("no migrations recorded: %+v", st)
+	}
+	// Every fleet slice must match the scheduler's running set exactly.
+	want := append([]string(nil), s.RunningSlices()["pod0"]...)
+	sort.Strings(want)
+	if got := ops.names("pod0"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fleet slices %v, scheduler wants %v", got, want)
+	}
+}
+
+func TestSchedulerUtilizationExcludesDownAndFailed(t *testing.T) {
+	s, err := NewScheduler(SchedulerConfig{Pods: []string{"pod0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 busy of 64 for 100s.
+	if _, _, err := s.Submit(JobSpec{Cubes: 32, DurationSeconds: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Utilization; got < 0.499 || got > 0.501 {
+		t.Fatalf("utilization %v, want 0.5", got)
+	}
+	// Fail 16 free cubes: availability drops to 48, so 32/48.
+	s.StartMeasurement()
+	failed := 0
+	for c := 0; c < 64 && failed < 16; c++ {
+		if s.byName["pod0"].mirror.State(c) == Free {
+			if err := s.FailCube("pod0", c); err != nil {
+				t.Fatal(err)
+			}
+			failed++
+		}
+	}
+	if err := s.AdvanceTo(200); err != nil {
+		t.Fatal(err)
+	}
+	want := 32.0 / 48.0
+	if got := s.Stats().Utilization; got < want-0.001 || got > want+0.001 {
+		t.Fatalf("utilization %v, want %v", got, want)
+	}
+}
+
+func TestSchedulerEnsureFailureRollsBackMirror(t *testing.T) {
+	ops := newFakeOps()
+	ops.fail = errors.New("fabric says no")
+	s, err := NewScheduler(SchedulerConfig{Pods: []string{"pod0"}, Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, placed, err := s.Submit(JobSpec{Cubes: 8, DurationSeconds: 10}); err == nil || placed {
+		t.Fatalf("submit with failing ops = (%v, %v)", placed, err)
+	}
+	st := s.Stats()
+	if st.Started != 0 || st.RunningJobs != 0 || st.QueueDepth != 1 {
+		t.Fatalf("stats after rejected placement %+v", st)
+	}
+	if free := s.byName["pod0"].mirror.FreeCubes(); free != 64 {
+		t.Fatalf("%d free cubes after rollback, want 64", free)
+	}
+	// Once the fabric recovers, the queued job places on the next event.
+	ops.fail = nil
+	if err := s.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got.RunningJobs != 1 || got.QueueDepth != 0 {
+		t.Fatalf("stats after recovery %+v", got)
+	}
+}

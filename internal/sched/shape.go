@@ -1,0 +1,32 @@
+package sched
+
+import (
+	"sync"
+
+	"lightwave/internal/mlperf"
+	"lightwave/internal/topo"
+)
+
+// NewOptimizedShapeChooser returns a ShapeChooser that picks each cube
+// count's slice shape by the mlperf step-time model for workload m — the
+// §4.2.1 co-optimization of placement and topology, with the shape search
+// fanned out through internal/par. Results are memoized (the cube-count
+// domain is tiny), and cube counts with no feasible mapping fall back to
+// the max-bisection static shape.
+func NewOptimizedShapeChooser(sys mlperf.System, m mlperf.LLM) ShapeChooser {
+	var mu sync.Mutex
+	memo := make(map[int]topo.Shape)
+	return func(cubes int) topo.Shape {
+		mu.Lock()
+		defer mu.Unlock()
+		if sh, ok := memo[cubes]; ok {
+			return sh
+		}
+		sh := topo.MaxBisectionShape(cubes)
+		if res, err := sys.OptimizeSlicePar(m, cubes); err == nil {
+			sh = res.Best.Shape
+		}
+		memo[cubes] = sh
+		return sh
+	}
+}

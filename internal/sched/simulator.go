@@ -50,6 +50,11 @@ type Stats struct {
 	Preempted int
 	// Swaps counts cube swaps performed after failures.
 	Swaps int
+	// Started counts jobs placed on cubes; Running is how many were still
+	// on cubes when the horizon ended. Completed + Preempted + Running
+	// always equals Started.
+	Started int
+	Running int
 }
 
 // SimConfig controls the simulation.
@@ -106,6 +111,10 @@ func Simulate(pod *Pod, placer Placer, mix JobMix, cfg SimConfig) (Stats, error)
 	if backfill <= 0 {
 		backfill = 6
 	}
+	// running tracks each placed job's completion event so preemption can
+	// cancel it — otherwise the stale event later fires, counts the killed
+	// job as completed, and releases cubes the job no longer owns.
+	running := make(map[int]*sim.Event)
 	var tryPlace func()
 	tryPlace = func() {
 		// FIFO with a bounded backfill window: the head job starts first
@@ -127,8 +136,10 @@ func Simulate(pod *Pod, placer Placer, mix JobMix, cfg SimConfig) (Stats, error)
 				queue = append(queue[:i], queue[i+1:]...)
 				waits = append(waits, float64(q.Now())-j.arrived)
 				job := j
-				q.After(job.dur, func() {
+				st.Started++
+				running[job.id] = q.After(job.dur, func() {
 					account()
+					delete(running, job.id)
 					pod.Release(job.id)
 					st.Completed++
 					tryPlace()
@@ -172,34 +183,45 @@ func Simulate(pod *Pod, placer Placer, mix JobMix, cfg SimConfig) (Stats, error)
 	// Failure injection.
 	if cfg.CubeMTBF > 0 {
 		rate := float64(pod.Cubes()) / cfg.CubeMTBF
+		preempt := func(job int) {
+			if ev, ok := running[job]; ok {
+				q.Cancel(ev)
+				delete(running, job)
+			}
+			pod.Release(job)
+			st.Preempted++
+		}
 		var fail func()
 		fail = func() {
 			account()
 			cube := rng.Intn(pod.Cubes())
-			if job, wasBusy, err := pod.Fail(cube); err == nil {
-				if wasBusy {
-					if _, isReconf := placer.(Reconfigurable); isReconf {
-						if _, err := pod.SwapCube(job); err == nil {
-							st.Swaps++
+			// An already-failed cube has no owner to evict and already has
+			// a repair in flight; injecting again would schedule a
+			// duplicate repair timer.
+			if pod.State(cube) != Failed {
+				if job, wasBusy, err := pod.Fail(cube); err == nil {
+					if wasBusy {
+						if _, isReconf := placer.(Reconfigurable); isReconf {
+							if _, err := pod.SwapCube(job); err == nil {
+								st.Swaps++
+							} else {
+								preempt(job)
+							}
 						} else {
-							pod.Release(job)
-							st.Preempted++
+							// Static fabric: the job loses its slice.
+							preempt(job)
 						}
-					} else {
-						// Static fabric: the job loses its slice.
-						pod.Release(job)
-						st.Preempted++
 					}
+					repairT := cfg.MeanRepair
+					if repairT <= 0 {
+						repairT = 3600
+					}
+					q.After(rng.ExpFloat64()*repairT, func() {
+						account()
+						_ = pod.Repair(cube)
+						tryPlace()
+					})
 				}
-				repairT := cfg.MeanRepair
-				if repairT <= 0 {
-					repairT = 3600
-				}
-				q.After(rng.ExpFloat64()*repairT, func() {
-					account()
-					_ = pod.Repair(cube)
-					tryPlace()
-				})
 			}
 			q.After(rng.ExpFloat64()/rate, fail)
 		}
@@ -208,6 +230,7 @@ func Simulate(pod *Pod, placer Placer, mix JobMix, cfg SimConfig) (Stats, error)
 
 	q.RunUntil(sim.Time(cfg.Duration))
 	account()
+	st.Running = len(running)
 
 	st.Utilization = busyIntegral / (float64(pod.Cubes()) * cfg.Duration)
 	if len(waits) > 0 {

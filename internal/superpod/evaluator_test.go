@@ -1,0 +1,106 @@
+package superpod
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lightwave/internal/par"
+	"lightwave/internal/sched"
+)
+
+// testConfig is a scaled-down stream that still exercises every event
+// kind: saturating arrivals, cube failures with repairs, and a pod
+// loss/restore window.
+func testConfig() EvalConfig {
+	return EvalConfig{
+		Pods:        2,
+		CubesPerPod: 8,
+		Mix: sched.JobMix{
+			Sizes:        []int{1, 2, 4},
+			Weights:      []float64{0.5, 0.3, 0.2},
+			MeanDuration: 300,
+			ArrivalRate:  0.05,
+		},
+		HorizonSeconds:      3000,
+		WarmupSeconds:       500,
+		BackfillWindow:      16,
+		CubeMTBF:            4000,
+		MeanRepairSeconds:   600,
+		PodLossAtSeconds:    1200,
+		PodRestoreAtSeconds: 1800,
+		SettleTimeout:       30 * time.Second,
+		Seed:                9,
+	}
+}
+
+func TestEvaluateLive(t *testing.T) {
+	rep, err := Evaluate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Policies) != 3 {
+		t.Fatalf("%d policies", len(rep.Policies))
+	}
+	for _, p := range rep.Policies {
+		if !p.AccountingOK {
+			t.Errorf("policy %s: accounting broken: %+v", p.Policy, p.Stats)
+		}
+		if !p.Consistent {
+			t.Errorf("policy %s: fabric diverged from scheduler", p.Policy)
+		}
+		if p.Stats.Started == 0 || p.Stats.Completed == 0 {
+			t.Errorf("policy %s: no jobs ran: %+v", p.Policy, p.Stats)
+		}
+		if p.FailsApplied == 0 {
+			t.Errorf("policy %s: no cube failures applied", p.Policy)
+		}
+		if !p.Quarantined {
+			t.Errorf("policy %s: pod loss did not quarantine", p.Policy)
+		}
+	}
+	reconf, contig := rep.Policies[0], rep.Policies[1]
+	if reconf.Stats.Utilization <= contig.Stats.Utilization {
+		t.Errorf("reconfigurable %.4f not above contiguous %.4f",
+			reconf.Stats.Utilization, contig.Stats.Utilization)
+	}
+	if reconf.Stats.Swaps == 0 {
+		t.Errorf("reconfigurable rode out failures without swaps: %+v", reconf.Stats)
+	}
+	if contig.Stats.Preempted == 0 {
+		t.Errorf("contiguous saw no preemptions: %+v", contig.Stats)
+	}
+	if rep.UtilizationGap <= 0 {
+		t.Errorf("utilization gap %.4f", rep.UtilizationGap)
+	}
+}
+
+// TestEvaluateDeterministicAcrossWorkers is the live half of the issue's
+// determinism requirement: the full report — three live control planes,
+// real reconciler goroutines, mlperf shape searches — must render
+// byte-identically at 1, 4, and 8 par workers.
+func TestEvaluateDeterministicAcrossWorkers(t *testing.T) {
+	cfg := testConfig()
+	cfg.HorizonSeconds = 1500
+	cfg.PodLossAtSeconds = 600
+	cfg.PodRestoreAtSeconds = 900
+	cfg.UseMLPerfShapes = true
+	defer par.SetWorkers(par.SetWorkers(1))
+	var ref string
+	for _, workers := range []int{1, 4, 8} {
+		par.SetWorkers(workers)
+		rep, err := Evaluate(cfg)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		text := rep.Text()
+		if !strings.Contains(text, "policy reconfigurable:") {
+			t.Fatalf("malformed report:\n%s", text)
+		}
+		if ref == "" {
+			ref = text
+		} else if text != ref {
+			t.Fatalf("report at %d workers diverged:\n%s\n--- want ---\n%s", workers, text, ref)
+		}
+	}
+}

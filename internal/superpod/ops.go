@@ -1,0 +1,35 @@
+// Package superpod wires the §4.2.4 slice scheduler to the live control
+// plane: scheduling decisions made on the sched.Scheduler's cube mirror
+// become fleet.Manager slice intents, which the reconciler realizes on
+// core.Fabric pods. The package carries three pieces:
+//
+//	FleetOps   — the sched.ClusterOps seam over a fleet.Manager
+//	Evaluator  — the live §4.2.4 experiment: one deterministic job/fault
+//	             stream replayed against real fabric pods under each
+//	             placement policy (Evaluate)
+//	Runner     — the daemon-side background loop that ticks the scheduler
+//	             against the wall clock (lwfleetd -sched)
+package superpod
+
+import (
+	"lightwave/internal/fleet"
+	"lightwave/internal/topo"
+)
+
+// FleetOps translates scheduler decisions into fleet slice intents. The
+// reconciler realizes them asynchronously; intent registration itself only
+// fails on malformed input or unknown pods, so scheduler state and fleet
+// intent can never diverge silently.
+type FleetOps struct {
+	M *fleet.Manager
+}
+
+// EnsureJobSlice implements sched.ClusterOps.
+func (o FleetOps) EnsureJobSlice(pod, slice string, shape topo.Shape, cubes []int) error {
+	return o.M.SetSliceIntent(pod, fleet.SliceIntent{Name: slice, Shape: shape, Cubes: cubes})
+}
+
+// RemoveJobSlice implements sched.ClusterOps.
+func (o FleetOps) RemoveJobSlice(pod, slice string) error {
+	return o.M.RemoveSliceIntent(pod, slice)
+}

@@ -1,0 +1,196 @@
+package superpod
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"lightwave/internal/fleet"
+	"lightwave/internal/sched"
+	"lightwave/internal/sim"
+)
+
+// RunnerConfig parameterizes the daemon-embedded scheduler loop.
+type RunnerConfig struct {
+	// Manager is the fleet receiving slice intents (required).
+	Manager *fleet.Manager
+	// Pods are the pod names the scheduler places onto (required);
+	// InstalledCubes is the usable cube count per pod (default 64).
+	Pods           []string
+	InstalledCubes int
+	// Scheduler tuning; zero values take sched defaults. Placer defaults
+	// to Reconfigurable — the production policy.
+	Placer         sched.Placer
+	Defrag         bool
+	BackfillWindow int
+	Shapes         sched.ShapeChooser
+	// Mix is the synthetic offered workload (default sched.ProductionMix).
+	Mix sched.JobMix
+	// Interval is the wall-clock tick (default 2s); each tick advances
+	// virtual time by VirtualPerTick seconds (default 60).
+	Interval       time.Duration
+	VirtualPerTick float64
+	Seed           uint64
+	// OnTick, when non-nil, observes every tick's stats (for logging).
+	OnTick func(stats sched.SchedulerStats)
+}
+
+// Runner drives a sched.Scheduler against the live fleet on a wall-clock
+// ticker: each tick samples Poisson arrivals from the mix over the next
+// virtual-time window and advances the scheduler through them. Fleet
+// quarantine/recovery events feed back as pod down/up transitions, closing
+// the scheduling↔fleet↔chaos loop inside the daemon.
+type Runner struct {
+	cfg   RunnerConfig
+	s     *sched.Scheduler
+	rng   *sim.Rand
+	nextA float64 // next arrival's virtual time
+}
+
+// NewRunner builds the scheduler over the fleet.
+func NewRunner(cfg RunnerConfig) (*Runner, error) {
+	if cfg.Manager == nil {
+		return nil, errors.New("superpod: runner needs a fleet manager")
+	}
+	if len(cfg.Mix.Sizes) == 0 {
+		cfg.Mix = sched.ProductionMix()
+	}
+	if len(cfg.Mix.Weights) != len(cfg.Mix.Sizes) {
+		return nil, fmt.Errorf("superpod: mix has %d sizes but %d weights",
+			len(cfg.Mix.Sizes), len(cfg.Mix.Weights))
+	}
+	// Trim the mix to jobs that can fit a pod: on small daemons (-cubes 16)
+	// the production mix's 32-cube jobs would otherwise be rejected by the
+	// scheduler and kill the loop.
+	installed := cfg.InstalledCubes
+	if installed <= 0 || installed > 64 {
+		installed = 64
+	}
+	var sizes []int
+	var weights []float64
+	for i, sz := range cfg.Mix.Sizes {
+		if sz <= installed {
+			sizes = append(sizes, sz)
+			weights = append(weights, cfg.Mix.Weights[i])
+		}
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("superpod: no job size in the mix fits %d installed cubes", installed)
+	}
+	cfg.Mix.Sizes, cfg.Mix.Weights = sizes, weights
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.VirtualPerTick <= 0 {
+		cfg.VirtualPerTick = 60
+	}
+	s, err := sched.NewScheduler(sched.SchedulerConfig{
+		Pods:           cfg.Pods,
+		InstalledCubes: cfg.InstalledCubes,
+		Placer:         cfg.Placer,
+		Defrag:         cfg.Defrag,
+		BackfillWindow: cfg.BackfillWindow,
+		Shapes:         cfg.Shapes,
+		Ops:            FleetOps{M: cfg.Manager},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.Substream(cfg.Seed, 7)
+	return &Runner{cfg: cfg, s: s, rng: rng, nextA: rng.ExpFloat64() / cfg.Mix.ArrivalRate}, nil
+}
+
+// Scheduler returns the runner's scheduler (for status serving and manual
+// submissions via the control RPC).
+func (r *Runner) Scheduler() *sched.Scheduler { return r.s }
+
+// sample draws one job from the mix.
+func (r *Runner) sample() sched.JobSpec {
+	totalW := 0.0
+	for _, w := range r.cfg.Mix.Weights {
+		totalW += w
+	}
+	x := r.rng.Float64() * totalW
+	size := r.cfg.Mix.Sizes[len(r.cfg.Mix.Sizes)-1]
+	for i, w := range r.cfg.Mix.Weights {
+		if x < w {
+			size = r.cfg.Mix.Sizes[i]
+			break
+		}
+		x -= w
+	}
+	return sched.JobSpec{Cubes: size, DurationSeconds: r.rng.ExpFloat64() * r.cfg.Mix.MeanDuration}
+}
+
+// tick advances one virtual window, submitting the arrivals that fall in
+// it.
+func (r *Runner) tick() error {
+	target := r.s.Now() + r.cfg.VirtualPerTick
+	for r.nextA < target {
+		if err := r.s.AdvanceTo(r.nextA); err != nil {
+			return err
+		}
+		if _, _, err := r.s.Submit(r.sample()); err != nil {
+			return err
+		}
+		r.nextA += r.rng.ExpFloat64() / r.cfg.Mix.ArrivalRate
+	}
+	return r.s.AdvanceTo(target)
+}
+
+// Run ticks until ctx is cancelled, draining fleet events between ticks so
+// quarantined pods stop receiving placements and recovered pods rejoin.
+// Tick errors end the run.
+func (r *Runner) Run(ctx context.Context) error {
+	sub := r.cfg.Manager.Subscribe(256)
+	defer sub.Close()
+	tick := time.NewTicker(r.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case ev := <-sub.Events():
+			if err := r.handleEvent(ev); err != nil {
+				return err
+			}
+			continue
+		case <-tick.C:
+		}
+		if err := r.tick(); err != nil {
+			return err
+		}
+		if r.cfg.OnTick != nil {
+			r.cfg.OnTick(r.s.Stats())
+		}
+	}
+}
+
+// handleEvent maps fleet health transitions onto the scheduler. Events for
+// pods the scheduler does not manage are ignored.
+func (r *Runner) handleEvent(ev fleet.Event) error {
+	isOurs := false
+	for _, p := range r.cfg.Pods {
+		if p == ev.Pod {
+			isOurs = true
+			break
+		}
+	}
+	if !isOurs {
+		return nil
+	}
+	switch ev.Type {
+	case fleet.EventQuarantined:
+		return r.s.SetPodDown(ev.Pod, true)
+	case fleet.EventRecovered:
+		return r.s.SetPodDown(ev.Pod, false)
+	case fleet.EventUndrained:
+		// A plain pod undrain (no OCS detail) releases quarantine too.
+		if !strings.HasPrefix(ev.Detail, "ocs") {
+			return r.s.SetPodDown(ev.Pod, false)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package superpod
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lightwave/internal/core"
+	"lightwave/internal/fleet"
+	"lightwave/internal/sched"
+)
+
+// TestRunnerTrimsMixToInstalledCubes is the regression for the live-daemon
+// failure mode: the default production mix offers 32-cube jobs, which a
+// small-pod daemon (-cubes 8) must drop from the stream rather than die on
+// the scheduler's oversize rejection.
+func TestRunnerTrimsMixToInstalledCubes(t *testing.T) {
+	mgr := fleet.NewManager(fleet.Options{
+		BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
+	})
+	defer mgr.Close()
+	f, err := core.New(core.DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.AddPod("pod0", fleet.NewFabricBackend(f, nil)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(RunnerConfig{
+		Manager:        mgr,
+		Pods:           []string{"pod0"},
+		InstalledCubes: 8,
+		Interval:       time.Millisecond,
+		VirtualPerTick: 600,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.cfg.Mix.Sizes; got[len(got)-1] > 8 {
+		t.Fatalf("mix not trimmed: %v", got)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+	deadline := time.After(10 * time.Second)
+	for r.Scheduler().Stats().Submitted < 20 {
+		select {
+		case err := <-done:
+			t.Fatalf("runner died on the default mix: %v", err)
+		case <-deadline:
+			t.Fatalf("no submissions: %+v", r.Scheduler().Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// A mix with no feasible size is rejected up front.
+	if _, err := NewRunner(RunnerConfig{
+		Manager:        mgr,
+		Pods:           []string{"pod0"},
+		InstalledCubes: 8,
+		Mix:            sched.JobMix{Sizes: []int{16, 32}, Weights: []float64{0.5, 0.5}, MeanDuration: 100, ArrivalRate: 0.1},
+	}); err == nil {
+		t.Fatal("infeasible mix accepted")
+	}
+	// Mismatched sizes/weights are rejected up front.
+	if _, err := NewRunner(RunnerConfig{
+		Manager:        mgr,
+		Pods:           []string{"pod0"},
+		InstalledCubes: 8,
+		Mix:            sched.JobMix{Sizes: []int{1, 2}, Weights: []float64{1}, MeanDuration: 100, ArrivalRate: 0.1},
+	}); err == nil {
+		t.Fatal("mismatched mix accepted")
+	}
+}
+
+func TestRunnerTicksAgainstFleet(t *testing.T) {
+	mgr := fleet.NewManager(fleet.Options{
+		BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
+		QuarantineAfter: 3, Seed: 3,
+	})
+	defer mgr.Close()
+	pods := []string{"pod0", "pod1"}
+	var fbs []*fleet.FabricBackend
+	for _, name := range pods {
+		f, err := core.New(core.DefaultConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := fleet.NewFabricBackend(f, nil)
+		fbs = append(fbs, fb)
+		if err := mgr.AddPod(name, fb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewRunner(RunnerConfig{
+		Manager:        mgr,
+		Pods:           pods,
+		InstalledCubes: 8,
+		Mix: sched.JobMix{
+			Sizes: []int{1, 2}, Weights: []float64{0.7, 0.3},
+			MeanDuration: 200, ArrivalRate: 0.1,
+		},
+		Interval:       2 * time.Millisecond,
+		VirtualPerTick: 60,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+
+	deadline := time.After(10 * time.Second)
+	for r.Scheduler().Stats().Started < 5 {
+		select {
+		case err := <-done:
+			t.Fatalf("runner exited early: %v", err)
+		case <-deadline:
+			t.Fatalf("no placements after 10s: %+v", r.Scheduler().Stats())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := r.Scheduler().Stats()
+	if st.Completed+st.Preempted+st.RunningJobs != st.Started {
+		t.Fatalf("accounting broken: %+v", st)
+	}
+	// The fleet should carry some of the scheduler's slices once the
+	// reconciler catches up.
+	settleDeadline := time.Now().Add(5 * time.Second)
+	for {
+		total := 0
+		for _, fb := range fbs {
+			total += len(fb.Slices())
+		}
+		if total == st.RunningJobs {
+			break
+		}
+		if time.Now().After(settleDeadline) {
+			t.Fatalf("fleet carries %d slices, scheduler runs %d jobs", total, st.RunningJobs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

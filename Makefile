@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-par race-te race-chaos race-sched bench bench-sim bench-dcn bench-te bench-chaos bench-sched profile-dcn experiments clean
+.PHONY: check vet build test race race-par race-te race-chaos race-sched race-ctl bench bench-sim bench-dcn bench-te bench-chaos bench-sched bench-ctl profile-dcn experiments clean
 
 # The gate every change must pass: vet, build everything, race-test the
 # parallel engine under contention, race-test the TE loop (its Loop is
@@ -8,8 +8,10 @@ GO ?= go
 # chaos subsystem (its injector threads live reconciler workers through
 # scenario replays), race-test the online scheduler (its Scheduler is
 # shared between the runner tick loop, fleet-event feedback, and RPC
-# status/submit), then race-test everything.
-check: vet build race-par race-te race-chaos race-sched race
+# status/submit), race-test the control protocol (one pipelined client is
+# shared by N callers and one server connection runs decode, a worker
+# pool and encode concurrently), then race-test everything.
+check: vet build race-par race-te race-chaos race-sched race-ctl race
 
 race-par:
 	$(GO) test -race ./internal/par/...
@@ -22,6 +24,9 @@ race-chaos:
 
 race-sched:
 	$(GO) test -race ./internal/sched/... ./internal/superpod/...
+
+race-ctl:
+	$(GO) test -race ./internal/ctlrpc/...
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +82,16 @@ bench-chaos:
 # so the per-job scheduling overhead is tracked in-repo.
 bench-sched:
 	$(GO) test -json -run '^$$' -bench 'SchedulerHotPath|PlacementDecision' -benchmem -count=5 ./internal/sched > BENCH_sched.json
+
+# Repeated runs of the control-plane load harness in machine-readable form:
+# the single-in-flight baseline (CtlRPCThroughput) against the pipelined
+# configurations (CtlRPCPipelined at 8 conns x 8 in-flight, and
+# CtlRPCPipelinedOneConn isolating pipelining from connection fan-out).
+# Each run reports sustained req/s plus p50/p99 latency. Commit
+# BENCH_ctl.json so the control-plane throughput trajectory is tracked
+# in-repo; the pipelined configuration must sustain >=5x the baseline.
+bench-ctl:
+	$(GO) test -json -run '^$$' -bench 'CtlRPCThroughput|CtlRPCPipelined' -benchmem -count=5 ./internal/ctlrpc > BENCH_ctl.json
 
 profile-dcn:
 	$(GO) test -run '^$$' -bench 'DCNTopologyEngineering' -benchtime 5x -cpuprofile dcn.cpuprof -o dcn.test .

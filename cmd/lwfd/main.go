@@ -171,6 +171,9 @@ func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.D
 	}
 
 	srv := ctlrpc.NewServer(fabric)
+	// ctl_requests_total / ctl_inflight / ctl_request_latency_seconds ride
+	// the same registry as the fabric metrics.
+	srv.SetMetrics(cfg.Metrics)
 	if teEpoch > 0 {
 		loop, err := startTE(ctx, teEpoch, teBlocks, teUplinks)
 		if err != nil {

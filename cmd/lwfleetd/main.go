@@ -222,6 +222,9 @@ func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch 
 	}
 
 	srv := ctlrpc.NewFleetServer(m)
+	// ctl_requests_total / ctl_inflight / ctl_request_latency_seconds ride
+	// the same registry as the fleet metrics.
+	srv.SetMetrics(reg)
 	if teEpoch > 0 {
 		loop, err := startTE(ctx, m, teEpoch, teBlocks, teUplinks)
 		if err != nil {

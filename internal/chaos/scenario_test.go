@@ -15,15 +15,15 @@ func TestScenarioValidate(t *testing.T) {
 		{Name: "x", HorizonSeconds: 0},
 		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: "nope"}}},
 		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 20, Kind: KindOCSOutage}}},
-		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindCircuitFlap, Trunk: [2]int{0, 1}}}},                                       // no duration
-		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindPodLoss}}},                                                               // no pod
-		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindCircuitFlap, Trunk: [2]int{3, 3}, DurationSeconds: 1}}},                  // degenerate trunk
-		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindBERDegrade, Trunk: [2]int{0, 1}, BER: 0, DurationSeconds: 1}}},           // no BER
-		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindSlowDrain, Pod: "p", OCS: 0, DurationSeconds: 0}}},                       // no duration
-		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: -1, Kind: KindPodLoss, Pod: "p"}}},                                                    // negative onset
-		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindBERDegrade, Trunk: [2]int{-1, 2}, BER: 1e-4, DurationSeconds: 1}}},       // negative block
-		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindCircuitFlap, Trunk: [2]int{0, 1}, DurationSeconds: -5}}},                 // negative duration
-		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindStuckDrain, OCS: 1}}},                                                    // no pod
+		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindCircuitFlap, Trunk: [2]int{0, 1}}}},                                // no duration
+		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindPodLoss}}},                                                         // no pod
+		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindCircuitFlap, Trunk: [2]int{3, 3}, DurationSeconds: 1}}},            // degenerate trunk
+		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindBERDegrade, Trunk: [2]int{0, 1}, BER: 0, DurationSeconds: 1}}},     // no BER
+		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindSlowDrain, Pod: "p", OCS: 0, DurationSeconds: 0}}},                 // no duration
+		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: -1, Kind: KindPodLoss, Pod: "p"}}},                                              // negative onset
+		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindBERDegrade, Trunk: [2]int{-1, 2}, BER: 1e-4, DurationSeconds: 1}}}, // negative block
+		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindCircuitFlap, Trunk: [2]int{0, 1}, DurationSeconds: -5}}},           // negative duration
+		{Name: "x", HorizonSeconds: 10, Events: []Event{{At: 1, Kind: KindStuckDrain, OCS: 1}}},                                              // no pod
 	}
 	for i, s := range cases {
 		if err := s.Validate(); !errors.Is(err, ErrScenario) {

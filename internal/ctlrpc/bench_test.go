@@ -1,0 +1,83 @@
+package ctlrpc
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"lightwave/internal/core"
+)
+
+// benchServer brings up a fabric daemon for load benchmarks and returns
+// its address.
+func benchServer(b *testing.B) string {
+	b.Helper()
+	f, err := core.New(core.DefaultConfig(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = NewServer(f).Serve(ctx, lis)
+	}()
+	b.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return lis.Addr().String()
+}
+
+// runLoadBench drives the closed-loop harness at K conns × M in-flight and
+// reports sustained req/s plus latency quantiles as benchmark metrics. Each
+// b.N iteration is one request, so ns/op is the per-request wall cost at
+// that concurrency.
+func runLoadBench(b *testing.B, conns, inflight int) {
+	addr := benchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Addr:     addr,
+		Conns:    conns,
+		InFlight: inflight,
+		Method:   MethodStatus,
+		Requests: b.N,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		b.Fatalf("%d request errors", rep.Errors)
+	}
+	if rep.IDMismatches != 0 {
+		b.Fatalf("%d request-ID mismatches", rep.IDMismatches)
+	}
+	b.ReportMetric(rep.ReqPerSec, "req/s")
+	b.ReportMetric(rep.P50Seconds*1e6, "p50-µs")
+	b.ReportMetric(rep.P99Seconds*1e6, "p99-µs")
+}
+
+// BenchmarkCtlRPCThroughput is the single-connection, single-in-flight
+// baseline: the old client's lockstep request/response behaviour.
+func BenchmarkCtlRPCThroughput(b *testing.B) {
+	runLoadBench(b, 1, 1)
+}
+
+// BenchmarkCtlRPCPipelined is the headline configuration from the issue:
+// 8 connections × 8 in-flight read-only requests. The acceptance bar is
+// ≥5× the sustained req/s of BenchmarkCtlRPCThroughput in the same run.
+func BenchmarkCtlRPCPipelined(b *testing.B) {
+	runLoadBench(b, 8, 8)
+}
+
+// BenchmarkCtlRPCPipelinedOneConn isolates pipelining from connection
+// fan-out: one connection, 8 requests in flight.
+func BenchmarkCtlRPCPipelinedOneConn(b *testing.B) {
+	runLoadBench(b, 1, 8)
+}

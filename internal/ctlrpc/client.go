@@ -6,32 +6,79 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Client errors.
 var (
-	// ErrClientBroken marks a client whose connection desynced: a mid-call
-	// transport error (partial write, short read, timeout) leaves the
-	// request/response framing in an undefined state, so every later call
-	// fails fast instead of pairing responses with the wrong requests.
+	// ErrClientBroken marks a client whose connection died: a transport
+	// error (write failure, read failure, undecodable response, close)
+	// leaves the stream unusable, so every later call fails fast instead
+	// of hanging on a dead wire. Reconnect to recover.
 	ErrClientBroken = errors.New("ctlrpc: client broken by earlier transport error")
 	// ErrClientStreaming marks a client whose connection was dedicated to
 	// a watch event stream; open a second client for unary calls.
 	ErrClientStreaming = errors.New("ctlrpc: connection dedicated to a watch stream")
+
+	// errClientClosed is the sticky error recorded by Close.
+	errClientClosed = errors.New("client closed")
 )
 
-// Client is a synchronous control-protocol client. It is safe for
-// concurrent use; calls are serialized on the wire.
+// Client is a fully pipelined control-protocol client, safe for concurrent
+// use: N goroutines sharing one Client get N requests in flight on the one
+// connection. A writer goroutine coalesces queued request lines into
+// batched writes; a reader goroutine demultiplexes responses by request ID
+// to per-call channels, so calls complete in whatever order the server
+// answers.
+//
+// Context semantics: a call abandoned on deadline or cancellation simply
+// forgets its ID — the late response is dropped when it arrives — and the
+// client stays healthy for every other call. Only genuine transport errors
+// (write/read/decode failures, Close) mark the client broken.
 type Client struct {
+	conn net.Conn
+
 	mu        sync.Mutex
-	conn      net.Conn
-	reader    *bufio.Reader
 	nextID    uint64
-	broken    error // first transport error; sticky
-	streaming bool  // connection handed over to a Watch
+	pending   map[uint64]pendingCall // in-flight unary calls by ID
+	abandoned map[uint64]bool        // context-abandoned IDs: drop silently
+	broken    error                  // first transport error; sticky
+	streaming bool                   // connection handed over to a Watch
+	watchID   uint64
+	watchCh   chan Response
+	started   bool
+
+	// Write batching: callers encode requests directly into wbuf under
+	// wmu and nudge the writer through the one-slot wkick channel; the
+	// writer swaps in an empty buffer and sends the whole batch in one
+	// syscall, so wakeups are per-batch instead of per-request.
+	wmu   sync.Mutex
+	wbuf  []byte
+	wkick chan struct{}
+	wsent atomic.Int64 // total requests encoded; batch-growth probe
+
+	dead chan struct{} // closed on the first transport error
+
+	unknown atomic.Int64 // responses dropped for an unknown (never-issued) ID
+
+	// Logf, when non-nil, receives diagnostics about dropped responses
+	// with unknown IDs. It defaults to log.Printf; set it before the
+	// first call.
+	Logf func(format string, args ...any)
+}
+
+// pendingCall parks one in-flight call. discard marks callers that will
+// not read the result payload, so the reader skips detaching it from the
+// read buffer.
+type pendingCall struct {
+	ch      chan Response
+	discard bool
 }
 
 // Dial connects to a fabric or fleet daemon.
@@ -45,11 +92,215 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, reader: bufio.NewReader(conn)}
+	return &Client{
+		conn:      conn,
+		pending:   make(map[uint64]pendingCall),
+		abandoned: make(map[uint64]bool),
+		wbuf:      make([]byte, 0, 4096),
+		wkick:     make(chan struct{}, 1),
+		dead:      make(chan struct{}),
+		Logf:      log.Printf,
+	}
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection; in-flight calls fail with ErrClientBroken.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(errClientClosed)
+	return err
+}
+
+// startLocked launches the reader and writer goroutines on first use;
+// c.mu must be held.
+func (c *Client) startLocked() {
+	if c.started {
+		return
+	}
+	c.started = true
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+// fail records the first transport error, wakes everything waiting on the
+// client, and fails all pending calls. Idempotent.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.broken != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.broken = err
+	pending := c.pending
+	c.pending = make(map[uint64]pendingCall)
+	c.abandoned = make(map[uint64]bool)
+	close(c.dead)
+	c.mu.Unlock()
+	for _, pc := range pending {
+		close(pc.ch)
+	}
+}
+
+func (c *Client) brokenErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
+}
+
+// enqueue appends one encoded request to the write batch and wakes the
+// writer. It never blocks: if the client broke, the bytes are simply
+// never written and the caller's response channel reports the failure.
+func (c *Client) enqueue(req *Request) {
+	c.wmu.Lock()
+	c.wbuf = appendRequest(c.wbuf, req)
+	c.wmu.Unlock()
+	c.wsent.Add(1)
+	select {
+	case c.wkick <- struct{}{}:
+	default: // writer already scheduled to run
+	}
+}
+
+// writeLoop flushes the request batch: it swaps the shared buffer for an
+// empty one and sends everything encoded since the last flush in a single
+// syscall.
+func (c *Client) writeLoop() {
+	local := make([]byte, 0, 4096)
+	for {
+		select {
+		case <-c.dead:
+			return
+		case <-c.wkick:
+		}
+		// Yield while the batch is still growing: each yield lets
+		// pipelined callers that just received responses encode their
+		// next requests, so one write syscall carries the whole burst.
+		// Stop as soon as a yield adds nothing.
+		for prev, spins := c.wsent.Load(), 0; spins < 4; spins++ {
+			runtime.Gosched()
+			n := c.wsent.Load()
+			if n <= prev {
+				break
+			}
+			prev = n
+		}
+		c.wmu.Lock()
+		local, c.wbuf = c.wbuf, local[:0]
+		c.wmu.Unlock()
+		if len(local) == 0 {
+			continue
+		}
+		if _, err := c.conn.Write(local); err != nil {
+			c.fail(fmt.Errorf("write: %v", err))
+			return
+		}
+	}
+}
+
+// readLoop demultiplexes responses to the pending call (or watch stream)
+// registered under their ID. A response carrying an ID that was never
+// issued is logged and dropped — a stray ID must not desynchronize every
+// other call on the stream.
+func (c *Client) readLoop() {
+	br := newLineReader(c.conn)
+	// Hoisted out of the loop: &resp escapes into parseResponse, so an
+	// in-loop declaration heap-allocates per response. Each channel send
+	// copies the value, so reuse is safe.
+	var resp Response
+	for {
+		line, err := br.next()
+		if err != nil {
+			c.fail(fmt.Errorf("read: %v", err))
+			return
+		}
+		if err := parseResponse(line, &resp); err != nil {
+			c.fail(fmt.Errorf("decoding response: %v", err))
+			return
+		}
+		c.mu.Lock()
+		if c.watchCh != nil && resp.ID == c.watchID {
+			ch := c.watchCh
+			c.mu.Unlock()
+			// The fast-path Result aliases the reader buffer; the stream
+			// consumer outlives the next read, so detach it.
+			if len(resp.Result) != 0 {
+				resp.Result = append(json.RawMessage(nil), resp.Result...)
+			}
+			select {
+			case ch <- resp:
+			case <-c.dead:
+				return
+			}
+			continue
+		}
+		if pc, ok := c.pending[resp.ID]; ok {
+			delete(c.pending, resp.ID)
+			c.mu.Unlock()
+			if pc.discard {
+				// The caller will not decode the payload; dropping it here
+				// saves the detach copy on the hot fire-and-check path.
+				resp.Result = nil
+			} else if len(resp.Result) != 0 {
+				// Detach the buffer-aliasing Result before it crosses to a
+				// caller that outlives the next read.
+				resp.Result = append(json.RawMessage(nil), resp.Result...)
+			}
+			pc.ch <- resp // buffered; never blocks
+			continue
+		}
+		if c.abandoned[resp.ID] {
+			// The call's context expired before the server answered; the
+			// response is late, not wrong.
+			delete(c.abandoned, resp.ID)
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Unlock()
+		c.unknown.Add(1)
+		if c.Logf != nil {
+			c.Logf("ctlrpc: dropping response with unknown id %d", resp.ID)
+		}
+	}
+}
+
+// UnknownResponses reports how many responses were dropped because their
+// ID matched no issued request — the request-ID mismatch count; it stays
+// 0 on a healthy stream.
+func (c *Client) UnknownResponses() int64 { return c.unknown.Load() }
+
+// respChPool recycles per-call response channels; a channel is pooled
+// only after its single buffered send was consumed, so pooled channels are
+// always empty and open.
+var respChPool = sync.Pool{New: func() any { return make(chan Response, 1) }}
+
+// register assigns the next request ID and parks a response channel for
+// it; discard marks calls that will not read the result payload. It also
+// lazily starts the reader/writer goroutines.
+func (c *Client) register(discard bool) (uint64, chan Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
+	}
+	if c.streaming {
+		return 0, nil, ErrClientStreaming
+	}
+	c.startLocked()
+	c.nextID++
+	ch := respChPool.Get().(chan Response)
+	c.pending[c.nextID] = pendingCall{ch: ch, discard: discard}
+	return c.nextID, ch, nil
+}
+
+// abandon forgets an in-flight call whose context expired; the eventual
+// response is dropped silently.
+func (c *Client) abandon(id uint64) {
+	c.mu.Lock()
+	if _, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		c.abandoned[id] = true
+	}
+	c.mu.Unlock()
+}
 
 // call performs one request/response exchange with no deadline.
 func (c *Client) call(method string, params, result any) error {
@@ -58,55 +309,55 @@ func (c *Client) call(method string, params, result any) error {
 
 // CallContext performs one request/response exchange, honouring the
 // context's deadline and cancellation — a hung server no longer blocks the
-// caller forever. A call abandoned mid-exchange leaves the wire in an
-// undefined state, so it marks the client broken (ErrClientBroken) and all
-// subsequent calls fail fast; reconnect to recover.
+// caller forever. Abandoning a call on deadline does NOT break the client:
+// the response is matched by ID when it eventually arrives and dropped, so
+// concurrent calls sharing the client are unaffected. Transport errors
+// still mark the client broken (ErrClientBroken) and fail every later
+// call fast; reconnect to recover.
 func (c *Client) CallContext(ctx context.Context, method string, params, result any) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.broken != nil {
-		return fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
-	}
-	if c.streaming {
-		return ErrClientStreaming
-	}
 	if err := ctx.Err(); err != nil {
+		return err // nothing hit the wire; client stays healthy
+	}
+	id, ch, err := c.register(result == nil)
+	if err != nil {
 		return err
 	}
-
-	c.nextID++
-	req := Request{ID: c.nextID, Method: method}
+	req := Request{ID: id, Method: method}
 	if params != nil {
-		raw, err := json.Marshal(params)
-		if err != nil {
-			return fmt.Errorf("ctlrpc: encoding params: %w", err)
+		raw, merr := json.Marshal(params)
+		if merr != nil {
+			c.abandon(id)
+			return fmt.Errorf("ctlrpc: encoding params: %w", merr)
 		}
 		req.Params = raw
 	}
-	line, err := json.Marshal(&req)
-	if err != nil {
-		return err
-	}
-	line = append(line, '\n')
+	c.enqueue(&req)
 
-	disarm := c.armContext(ctx)
-	defer disarm()
+	if ctx.Done() == nil {
+		// The context can never fire (context.Background and friends), so
+		// a plain receive skips the select machinery — the common case for
+		// reconcilers and the load harness. A broken client still closes
+		// ch, so this cannot hang on a dead wire.
+		resp, ok := <-ch
+		return c.finish(resp, ok, ch, result)
+	}
+	select {
+	case resp, ok := <-ch:
+		return c.finish(resp, ok, ch, result)
+	case <-ctx.Done():
+		// Do not pool ch: the late response may still land in it.
+		c.abandon(id)
+		return ctx.Err()
+	}
+}
 
-	if _, err := c.conn.Write(line); err != nil {
-		return c.transportErr(ctx, "write", err)
+// finish consumes one delivered response: it recycles the call's channel
+// and decodes the result (ok=false means the client broke mid-call).
+func (c *Client) finish(resp Response, ok bool, ch chan Response, result any) error {
+	if !ok {
+		return c.brokenErr()
 	}
-	respLine, err := c.reader.ReadBytes('\n')
-	if err != nil {
-		return c.transportErr(ctx, "read", err)
-	}
-	var resp Response
-	if err := json.Unmarshal(respLine, &resp); err != nil {
-		return c.transportErr(ctx, "decoding response", err)
-	}
-	if resp.ID != req.ID {
-		return c.transportErr(ctx, "framing",
-			fmt.Errorf("response id %d for request %d", resp.ID, req.ID))
-	}
+	respChPool.Put(ch)
 	if resp.Error != "" {
 		return fmt.Errorf("ctlrpc: server: %s", resp.Error)
 	}
@@ -118,50 +369,47 @@ func (c *Client) CallContext(ctx context.Context, method string, params, result 
 	return nil
 }
 
-// transportErr records the first mid-call failure and makes the client fail
-// fast from then on. When the context expired, the context error is
-// surfaced so errors.Is(err, context.DeadlineExceeded) works.
-func (c *Client) transportErr(ctx context.Context, op string, err error) error {
-	c.broken = fmt.Errorf("%s: %v", op, err)
-	if cerr := ctx.Err(); cerr != nil {
-		return fmt.Errorf("ctlrpc: %s: %v: %w", op, err, cerr)
-	}
-	// The connection deadline can fire a hair before the context's own
-	// timer; surface the deadline error the caller armed for.
-	var nerr net.Error
-	if errors.As(err, &nerr) && nerr.Timeout() {
-		if _, ok := ctx.Deadline(); ok {
-			return fmt.Errorf("ctlrpc: %s: %v: %w", op, err, context.DeadlineExceeded)
-		}
-	}
-	return fmt.Errorf("ctlrpc: %s: %w", op, err)
+// lineReader yields newline-terminated lines without a per-line
+// allocation: short lines alias the bufio buffer (valid until the next
+// call, long enough for json.Unmarshal to copy what it keeps), and longer
+// lines accumulate into one reusable spill buffer.
+type lineReader struct {
+	br  *bufio.Reader
+	acc []byte
 }
 
-// armContext maps the context onto connection deadlines: an expired or
-// cancelled context interrupts the in-flight read/write. The returned
-// function disarms the watchdog and clears the deadline.
-func (c *Client) armContext(ctx context.Context) func() {
-	deadline, hasDeadline := ctx.Deadline()
-	if !hasDeadline && ctx.Done() == nil {
-		return func() {}
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{br: bufio.NewReaderSize(r, 64*1024)}
+}
+
+func (l *lineReader) next() ([]byte, error) {
+	frag, err := l.br.ReadSlice('\n')
+	if err == nil {
+		return frag, nil
 	}
-	if hasDeadline {
-		_ = c.conn.SetDeadline(deadline)
-	}
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		select {
-		case <-ctx.Done():
-			_ = c.conn.SetDeadline(time.Unix(1, 0)) // unblock immediately
-		case <-stop:
+	if err != bufio.ErrBufferFull {
+		if err == io.EOF && len(frag) > 0 {
+			return frag, nil
 		}
-	}()
-	return func() {
-		close(stop)
-		<-done
-		_ = c.conn.SetDeadline(time.Time{})
+		return nil, err
+	}
+	l.acc = append(l.acc[:0], frag...)
+	for {
+		frag, err = l.br.ReadSlice('\n')
+		l.acc = append(l.acc, frag...)
+		switch err {
+		case nil:
+			return l.acc, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(l.acc) > 0 {
+				return l.acc, nil
+			}
+			return nil, err
+		default:
+			return nil, err
+		}
 	}
 }
 
@@ -189,6 +437,21 @@ func (c *Client) Compose(name string, shape [3]int, cubes []int) (SliceResult, e
 // Destroy destroys a slice.
 func (c *Client) Destroy(name string) error {
 	return c.call(MethodDestroy, NameParams{Name: name}, nil)
+}
+
+// DestroyIfPresent destroys a slice, succeeding as a no-op when the slice
+// does not exist — the idempotent form reconcilers retry.
+func (c *Client) DestroyIfPresent(name string) error {
+	return c.call(MethodDestroy, NameParams{Name: name, IfPresent: true}, nil)
+}
+
+// Ensure drives the fabric toward "slice exists with this shape on these
+// cubes" (core.EnsureSlice over the wire) and reports whether hardware
+// changed.
+func (c *Client) Ensure(name string, shape [3]int, cubes []int) (SliceResult, bool, error) {
+	var r EnsureResult
+	err := c.call(MethodEnsure, EnsureParams{Name: name, Shape: shape, Cubes: cubes}, &r)
+	return r.Slice, r.Changed, err
 }
 
 // Slice fetches a slice's details.

@@ -1,11 +1,14 @@
 package ctlrpc
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -58,9 +61,74 @@ func TestCallContextDeadline(t *testing.T) {
 		t.Fatalf("deadline not honoured: blocked %v", elapsed)
 	}
 
-	// The abandoned call desynced the wire: the client must fail fast now.
-	if _, err := c.Status(); !errors.Is(err, ErrClientBroken) {
-		t.Fatalf("call after broken: %v", err)
+	// Abandoning a call does NOT break the client: the ID is forgotten and
+	// the client stays usable, so a second call times out the same way
+	// instead of failing fast with ErrClientBroken.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	if _, err := c.StatusContext(ctx2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("call after abandoned call: %v", err)
+	}
+}
+
+// TestAbandonedCallDoesNotPoisonLater drives the full late-response path: a
+// server that answers the first request slowly makes the caller's deadline
+// expire, the late response arrives after abandonment and is dropped by ID,
+// and a subsequent call on the same client succeeds.
+func TestAbandonedCallDoesNotPoisonLater(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		first := true
+		for {
+			line, err := br.ReadBytes('\n')
+			if err != nil {
+				return
+			}
+			var req Request
+			if err := json.Unmarshal(line, &req); err != nil {
+				return
+			}
+			if first {
+				first = false
+				time.Sleep(300 * time.Millisecond) // past the caller's deadline
+			}
+			resp := marshalResponse(req.ID, StatusResult{InstalledCubes: 1}, nil)
+			out, _ := json.Marshal(&resp)
+			if _, err := conn.Write(append(out, '\n')); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := Dial(lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.StatusContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("first call: %v", err)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatalf("call after abandoned call: %v", err)
+	}
+	if st.InstalledCubes != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if n := c.UnknownResponses(); n != 0 {
+		t.Fatalf("late response for an abandoned ID counted as unknown (%d)", n)
 	}
 }
 
@@ -96,9 +164,79 @@ func TestCallContextAlreadyExpired(t *testing.T) {
 	}
 }
 
-func TestClientBrokenAfterMidCallError(t *testing.T) {
-	// A server that replies with a mismatched response id desyncs the
-	// request pairing; the client must refuse further calls.
+// TestUnknownResponseIDLoggedAndDropped feeds the client a response with an
+// ID it never issued: the stray is logged, counted and dropped, and the call
+// it was interleaved with still completes with the right payload.
+func TestUnknownResponseIDLoggedAndDropped(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		stray := true
+		for {
+			line, err := br.ReadBytes('\n')
+			if err != nil {
+				return
+			}
+			var req Request
+			if err := json.Unmarshal(line, &req); err != nil {
+				return
+			}
+			if stray {
+				stray = false
+				fmt.Fprintf(conn, "{\"id\":999}\n") // never issued
+			}
+			resp := marshalResponse(req.ID, StatusResult{InstalledCubes: 2}, nil)
+			out, _ := json.Marshal(&resp)
+			if _, err := conn.Write(append(out, '\n')); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := Dial(lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var logged atomic.Int64
+	c.Logf = func(format string, args ...any) { logged.Add(1) }
+
+	st, err := c.Status()
+	if err != nil {
+		t.Fatalf("call interleaved with stray response: %v", err)
+	}
+	if st.InstalledCubes != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	// The stray may race the real response; wait for the reader to count it.
+	deadline := time.Now().Add(time.Second)
+	for c.UnknownResponses() != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := c.UnknownResponses(); n != 1 {
+		t.Fatalf("unknown responses = %d, want 1", n)
+	}
+	if logged.Load() != 1 {
+		t.Fatalf("logged %d drops, want 1", logged.Load())
+	}
+	// The stream stayed in sync: later calls keep working.
+	if _, err := c.Status(); err != nil {
+		t.Fatalf("call after stray response: %v", err)
+	}
+}
+
+// TestClientBrokenAfterTransportError: an undecodable response is a genuine
+// transport fault — the stream is unusable, so the client goes sticky-broken
+// and later calls (and Watch) fail fast.
+func TestClientBrokenAfterTransportError(t *testing.T) {
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -114,8 +252,8 @@ func TestClientBrokenAfterMidCallError(t *testing.T) {
 		if _, err := conn.Read(buf); err != nil {
 			return
 		}
-		fmt.Fprintf(conn, "{\"id\":999}\n")
-		// Keep the connection open so only the framing error is at play.
+		fmt.Fprintf(conn, "not json\n")
+		// Keep the connection open so only the decode error is at play.
 		time.Sleep(time.Second)
 	}()
 	c, err := Dial(lis.Addr().String(), time.Second)
@@ -123,8 +261,8 @@ func TestClientBrokenAfterMidCallError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Status(); err == nil {
-		t.Fatal("mismatched response id accepted")
+	if _, err := c.Status(); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("first call: %v", err)
 	}
 	if _, err := c.Status(); !errors.Is(err, ErrClientBroken) {
 		t.Fatalf("second call: %v", err)

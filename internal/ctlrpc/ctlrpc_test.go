@@ -1,7 +1,9 @@
 package ctlrpc
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"net"
 	"strings"
 	"sync"
@@ -176,16 +178,38 @@ func TestUnknownMethod(t *testing.T) {
 
 func TestMalformedRequestDoesNotKillConnection(t *testing.T) {
 	c := startServer(t, 2)
-	// Send garbage directly, then a valid request on the same connection.
-	if _, err := c.conn.Write([]byte("not json\n")); err != nil {
+	// Speak the wire protocol directly on a second connection: garbage,
+	// then a valid request on the same connection.
+	conn, err := net.Dial("tcp", c.conn.RemoteAddr().String())
+	if err != nil {
 		t.Fatal(err)
 	}
-	// Drain the error response for the garbage line.
-	if _, err := c.reader.ReadBytes('\n'); err != nil {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if _, err := conn.Write([]byte("not json\n")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Status(); err != nil {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatalf("error response not JSON: %v (%q)", err, line)
+	}
+	if !strings.Contains(resp.Error, "bad request") {
+		t.Fatalf("error = %q", resp.Error)
+	}
+	if _, err := conn.Write([]byte(`{"id":7,"method":"status"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err = br.ReadBytes('\n')
+	if err != nil {
 		t.Fatalf("connection broken after malformed request: %v", err)
+	}
+	resp = Response{}
+	if err := json.Unmarshal(line, &resp); err != nil || resp.ID != 7 || resp.Error != "" {
+		t.Fatalf("status after garbage = %+v (err %v)", resp, err)
 	}
 }
 

@@ -47,65 +47,75 @@ func (c *Client) Undrain(pod string, ocs *int) error {
 type WatchStream struct {
 	c  *Client
 	id uint64
+	ch chan Response
 }
 
 // Watch subscribes to the fleet event stream. Events emitted before the
-// subscription is acknowledged are not replayed.
+// subscription is acknowledged are not replayed. The watch rides the same
+// demultiplexed reader as unary calls: in-flight calls issued before the
+// upgrade still complete, and every event is matched to the watch by its
+// request ID.
 func (c *Client) Watch() (*WatchStream, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.broken != nil {
-		return nil, fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
-	}
-	if c.streaming {
-		return nil, ErrClientStreaming
-	}
-	c.nextID++
-	req := Request{ID: c.nextID, Method: MethodWatch}
-	line, err := json.Marshal(&req)
-	if err != nil {
+		err := fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
+		c.mu.Unlock()
 		return nil, err
 	}
-	line = append(line, '\n')
-	if _, err := c.conn.Write(line); err != nil {
-		c.broken = err
-		return nil, fmt.Errorf("ctlrpc: write: %w", err)
+	if c.streaming {
+		c.mu.Unlock()
+		return nil, ErrClientStreaming
 	}
-	ackLine, err := c.reader.ReadBytes('\n')
-	if err != nil {
-		c.broken = err
-		return nil, fmt.Errorf("ctlrpc: read: %w", err)
-	}
-	var resp Response
-	if err := json.Unmarshal(ackLine, &resp); err != nil {
-		c.broken = err
-		return nil, fmt.Errorf("ctlrpc: decoding watch ack: %w", err)
-	}
-	if resp.Error != "" {
-		return nil, fmt.Errorf("ctlrpc: server: %s", resp.Error)
-	}
-	var ack WatchAck
-	if err := json.Unmarshal(resp.Result, &ack); err != nil || !ack.Watching {
-		return nil, fmt.Errorf("ctlrpc: bad watch ack %s", ackLine)
-	}
+	c.startLocked()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan Response, 256)
+	c.watchID, c.watchCh = id, ch
+	// Block unary calls from this point: once the server upgrades, it
+	// stops reading further requests on this connection.
 	c.streaming = true
-	return &WatchStream{c: c, id: req.ID}, nil
+	c.mu.Unlock()
+
+	fail := func(err error) (*WatchStream, error) {
+		c.mu.Lock()
+		c.watchID, c.watchCh = 0, nil
+		c.streaming = false
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	req := Request{ID: id, Method: MethodWatch}
+	c.enqueue(&req)
+
+	select {
+	case resp := <-ch:
+		if resp.Error != "" {
+			return fail(fmt.Errorf("ctlrpc: server: %s", resp.Error))
+		}
+		var ack WatchAck
+		if err := json.Unmarshal(resp.Result, &ack); err != nil || !ack.Watching {
+			return fail(fmt.Errorf("ctlrpc: bad watch ack %s", resp.Result))
+		}
+	case <-c.dead:
+		return fail(c.brokenErr())
+	}
+	return &WatchStream{c: c, id: id, ch: ch}, nil
 }
 
 // Next blocks for the next event. It returns an error when the stream or
-// connection closes.
+// connection closes; events already buffered when the connection died are
+// still delivered first.
 func (w *WatchStream) Next() (WatchEvent, error) {
 	var ev WatchEvent
-	line, err := w.c.reader.ReadBytes('\n')
-	if err != nil {
-		return ev, fmt.Errorf("ctlrpc: watch read: %w", err)
-	}
 	var resp Response
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return ev, fmt.Errorf("ctlrpc: decoding event: %w", err)
-	}
-	if resp.ID != w.id {
-		return ev, fmt.Errorf("ctlrpc: event under id %d, want %d", resp.ID, w.id)
+	select {
+	case resp = <-w.ch: // drain buffered events before reporting death
+	default:
+		select {
+		case resp = <-w.ch:
+		case <-w.c.dead:
+			return ev, fmt.Errorf("ctlrpc: watch read: %w", w.c.brokenErr())
+		}
 	}
 	if resp.Error != "" {
 		return ev, fmt.Errorf("ctlrpc: server: %s", resp.Error)

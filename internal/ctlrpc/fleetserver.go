@@ -1,25 +1,32 @@
 package ctlrpc
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 
 	"lightwave/internal/fleet"
+	"lightwave/internal/telemetry"
 	"lightwave/internal/topo"
 )
 
 // FleetServer serves the fleet-scoped control protocol for a fleet.Manager
 // (cmd/lwfleetd). Unlike the per-fabric Server it needs no dispatch lock:
 // the manager is safe for concurrent use and reconciliation runs in its own
-// workers, so slow pods never block the control socket.
+// workers, so slow pods never block the control socket. Each connection
+// runs the shared decode/execute/encode pipeline, so pipelined clients get
+// several requests in flight at once.
 type FleetServer struct {
-	m     *fleet.Manager
-	te    TEStatusProvider
-	chaos ChaosProvider
-	sched SchedProvider
+	m       *fleet.Manager
+	te      TEStatusProvider
+	chaos   ChaosProvider
+	sched   SchedProvider
+	metrics *ctlMetrics
+
+	// MaxRequestBytes caps one request line; 0 means
+	// DefaultMaxRequestBytes. Set before Serve.
+	MaxRequestBytes int
 }
 
 // NewFleetServer wraps a fleet manager.
@@ -39,50 +46,39 @@ func (s *FleetServer) SetChaos(p ChaosProvider) { s.chaos = p }
 // provider reports the scheduler disabled and rejects sched-submit.
 func (s *FleetServer) SetSched(p SchedProvider) { s.sched = p }
 
+// SetMetrics exposes ctl_requests_total / ctl_inflight /
+// ctl_request_latency_seconds on the registry. Call before Serve.
+func (s *FleetServer) SetMetrics(reg *telemetry.Registry) { s.metrics = newCtlMetrics(reg) }
+
 // Serve accepts connections until the listener closes or ctx is cancelled.
 func (s *FleetServer) Serve(ctx context.Context, lis net.Listener) error {
 	return serveLoop(ctx, lis, s.handleConn)
 }
 
 func (s *FleetServer) handleConn(ctx context.Context, conn net.Conn) {
-	defer conn.Close()
-	go func() {
-		<-ctx.Done()
-		conn.Close()
-	}()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var req Request
-		var resp Response
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp.Error = fmt.Sprintf("bad request: %v", err)
-		} else if req.Method == MethodWatch {
-			// The watch upgrade dedicates this connection to the event
-			// stream; it ends when the client hangs up or ctx cancels.
-			s.streamEvents(ctx, enc, req.ID)
-			return
-		} else {
-			result, err := s.call(req.Method, req.Params)
-			resp = marshalResponse(req.ID, result, err)
-		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
-	}
+	// The watch upgrade dedicates the connection to the event stream: the
+	// pipeline stops decoding further requests, drains in-flight workers,
+	// and hands the writer to streamEvents until the client hangs up or
+	// ctx cancels.
+	// No inline hook: fleet methods call into the manager, whose own
+	// locking the reader cannot probe with a TryRLock.
+	servePipelinedConn(ctx, conn, s.MaxRequestBytes, s.metrics, s.dispatch, nil,
+		&watchHook{method: MethodWatch, run: s.streamEvents})
+}
+
+func (s *FleetServer) dispatch(req Request) Response {
+	result, err := s.call(req.Method, req.Params)
+	return marshalResponse(req.ID, result, err)
 }
 
 // streamEvents acknowledges the watch and pushes every fleet event as a
-// Response carrying a WatchEvent, all under the watch request's ID.
-func (s *FleetServer) streamEvents(ctx context.Context, enc *json.Encoder, id uint64) {
+// Response carrying a WatchEvent, all under the watch request's ID. send
+// reports false once the connection's write half failed, which ends the
+// stream.
+func (s *FleetServer) streamEvents(ctx context.Context, send func(Response) bool, id uint64) {
 	sub := s.m.Subscribe(256)
 	defer sub.Close()
-	if err := enc.Encode(marshalResponse(id, WatchAck{Watching: true}, nil)); err != nil {
+	if !send(marshalResponse(id, WatchAck{Watching: true}, nil)) {
 		return
 	}
 	for {
@@ -101,7 +97,7 @@ func (s *FleetServer) streamEvents(ctx context.Context, enc *json.Encoder, id ui
 				Slice:      ev.Slice,
 				Detail:     ev.Detail,
 			}
-			if err := enc.Encode(marshalResponse(id, we, nil)); err != nil {
+			if !send(marshalResponse(id, we, nil)) {
 				return
 			}
 		}

@@ -1,0 +1,429 @@
+package ctlrpc
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lightwave/internal/telemetry"
+)
+
+// Per-connection request pipeline shared by the fabric and fleet servers.
+//
+// The old servers ran decode → execute → encode strictly sequentially per
+// connection, so a slow mutation stalled every queued request and encoding
+// never overlapped execution. The pipeline splits the stages: one reader
+// goroutine decodes newline-delimited requests, a small worker pool
+// executes them (read-only methods run concurrently under the server's
+// RWMutex), and one writer goroutine drains encoded responses through a
+// buffered writer, coalescing bursts of pipelined responses into a single
+// flush/syscall. Responses are matched to requests by ID, so out-of-order
+// completion is part of the protocol contract.
+
+const (
+	// DefaultMaxRequestBytes caps one request line. Oversized lines are
+	// drained and answered with a typed "request too large" error instead
+	// of killing the connection (the old bufio.Scanner path dropped the
+	// conn with no response at all).
+	DefaultMaxRequestBytes = 4 << 20
+
+	// connWorkers is the per-connection execution width. Read-heavy
+	// pollers (status/metrics/te-status/...) overlap under the server's
+	// read lock; mutations still serialize on the write lock.
+	connWorkers = 4
+
+	// writeBufBytes sizes the per-connection buffered writer responses
+	// are coalesced into.
+	writeBufBytes = 32 * 1024
+)
+
+// ctlMetrics carries the control-plane serving metrics both daemons expose
+// on /metrics. A nil *ctlMetrics is a valid no-op.
+type ctlMetrics struct {
+	requests *telemetry.Counter
+	inflight *telemetry.Gauge
+	latency  *telemetry.Distribution
+}
+
+// latencyBounds buckets request latency from 1µs to 5s.
+var latencyBounds = []float64{
+	1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+	1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.5, 1, 2, 5,
+}
+
+func newCtlMetrics(reg *telemetry.Registry) *ctlMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ctlMetrics{
+		requests: reg.Counter("ctl_requests_total"),
+		inflight: reg.Gauge("ctl_inflight"),
+		latency:  reg.Distribution("ctl_request_latency_seconds", latencyBounds...),
+	}
+}
+
+func (m *ctlMetrics) begin() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	m.inflight.Add(1)
+	return time.Now()
+}
+
+func (m *ctlMetrics) end(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(-1)
+	m.requests.Inc()
+	m.latency.Observe(time.Since(start).Seconds())
+}
+
+// abort undoes begin without recording a request — used when an inline
+// attempt declines and the request is re-counted on the worker path.
+func (m *ctlMetrics) abort() {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(-1)
+}
+
+// connWriter owns the connection's write half. Senders encode responses
+// directly into a shared batch buffer under a mutex and nudge the flusher
+// through a one-slot wake channel; the flusher swaps in an empty buffer
+// and writes the whole batch in one syscall. Compared to a line-per-
+// channel-element design this makes goroutine wakeups per-batch instead
+// of per-response, which is most of the win on loaded connections.
+type connWriter struct {
+	mu     sync.Mutex
+	buf    []byte        // responses encoded since the last flush
+	closed bool          // no more sends; flush what remains and exit
+	kick   chan struct{} // one-slot wake signal for the flusher
+	sent   atomic.Int64  // total responses encoded; batch-growth probe
+	done   chan struct{}
+	failed atomic.Bool
+}
+
+func newConnWriter() *connWriter {
+	return &connWriter{
+		buf:  make([]byte, 0, writeBufBytes),
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+}
+
+func (w *connWriter) run(conn net.Conn) {
+	defer close(w.done)
+	local := make([]byte, 0, writeBufBytes)
+	for range w.kick {
+		// Yield while the batch is still growing: each yield lets runnable
+		// workers encode the responses they just finished, so one write
+		// (one syscall) carries the whole burst instead of one response
+		// each. Stop as soon as a yield adds nothing — latency only pays
+		// for batching that actually happens.
+		for prev, spins := w.sent.Load(), 0; spins < 4; spins++ {
+			runtime.Gosched()
+			n := w.sent.Load()
+			if n <= prev {
+				break
+			}
+			prev = n
+		}
+		w.mu.Lock()
+		local, w.buf = w.buf, local[:0]
+		closed := w.closed
+		w.mu.Unlock()
+		if len(local) > 0 {
+			if _, err := conn.Write(local); err != nil {
+				// Closing the connection wakes the reader; workers keep
+				// appending into a buffer nobody flushes, which is bounded
+				// by the requests already in flight.
+				w.failed.Store(true)
+				conn.Close()
+				return
+			}
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// send enqueues one response; it reports false once the write half failed
+// (useful for event streams that should stop pumping a dead connection).
+func (w *connWriter) send(resp Response) bool {
+	w.mu.Lock()
+	w.buf = appendResponse(w.buf, &resp)
+	w.mu.Unlock()
+	w.sent.Add(1)
+	select {
+	case w.kick <- struct{}{}:
+	default: // flusher already scheduled to run
+	}
+	return !w.failed.Load()
+}
+
+// sendBytes appends a batch of pre-encoded responses in one buffer-lock
+// acquisition — the reader's inline batch takes this path, so a burst of
+// cached reads costs one lock and at most one flusher wakeup.
+func (w *connWriter) sendBytes(b []byte) bool {
+	if len(b) == 0 {
+		return !w.failed.Load()
+	}
+	w.mu.Lock()
+	w.buf = append(w.buf, b...)
+	w.mu.Unlock()
+	w.sent.Add(1)
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	return !w.failed.Load()
+}
+
+// close flushes whatever is still buffered and stops the flusher. It must
+// only be called after the last send.
+func (w *connWriter) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	<-w.done
+}
+
+// watchHook intercepts one method before it reaches the worker pool,
+// dedicating the connection to a server-push stream. It runs after all
+// in-flight workers for the connection have drained.
+type watchHook struct {
+	method string
+	run    func(ctx context.Context, send func(Response) bool, id uint64)
+}
+
+// servePipelinedConn runs the pipelined request loop for one connection.
+// maxLine ≤ 0 uses DefaultMaxRequestBytes. inline, when non-nil, gives the
+// reader a chance to execute a request in place of the worker handoff; it
+// must decline (ok=false) rather than block, and a batch of inline-served
+// requests then completes synchronously inside one read timeslice — the
+// whole response batch is already encoded when the flusher next runs.
+func servePipelinedConn(ctx context.Context, conn net.Conn, maxLine int, m *ctlMetrics, dispatch func(Request) Response, inline func(Request) (Response, bool), watch *watchHook) {
+	defer conn.Close()
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+	if maxLine <= 0 {
+		maxLine = DefaultMaxRequestBytes
+	}
+
+	w := newConnWriter()
+	go w.run(conn)
+
+	reqCh := make(chan Request, connWorkers)
+	var wg sync.WaitGroup
+	for i := 0; i < connWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range reqCh {
+				start := m.begin()
+				resp := dispatch(req)
+				m.end(start)
+				w.send(resp)
+			}
+		}()
+	}
+
+	var watchID uint64
+	watching := false
+	br := bufio.NewReaderSize(conn, 64*1024)
+	// inlineBuf accumulates inline-served responses while more complete
+	// requests are already buffered, so a pipelined burst of cached reads
+	// reaches the flusher as one append instead of one per response.
+	var inlineBuf []byte
+	// Hoisted out of the loop: &req escapes into parseRequest, so an
+	// in-loop declaration heap-allocates per request. Each channel send
+	// copies the value, so reuse is safe.
+	var req Request
+	for {
+		line, tooLong, err := readLimitedLine(br, maxLine)
+		if tooLong {
+			// The request was drained without killing the connection;
+			// answer with the typed error under whatever ID we could
+			// salvage from the line's prefix.
+			w.send(Response{
+				ID:    peekRequestID(line),
+				Error: fmt.Sprintf("%s: request line exceeds %d bytes", errRequestTooLarge, maxLine),
+			})
+			continue
+		}
+		if err != nil {
+			break
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if uerr := parseRequest(line, &req); uerr != nil {
+			w.send(Response{Error: fmt.Sprintf("bad request: %v", uerr)})
+			continue
+		}
+		if watch != nil && req.Method == watch.method {
+			watchID = req.ID
+			watching = true
+			break
+		}
+		if inline != nil {
+			// Inline execution consumes Params before the next read, so
+			// the buffer-aliasing fast-path slices need no detach copy.
+			start := m.begin()
+			if resp, ok := inline(req); ok {
+				m.end(start)
+				inlineBuf = appendResponse(inlineBuf, &resp)
+				if !hasCompleteLine(br) {
+					// The next read may block; hand the accumulated batch
+					// to the flusher before parking.
+					w.sendBytes(inlineBuf)
+					inlineBuf = inlineBuf[:0]
+				}
+				continue
+			}
+			m.abort() // the worker path re-counts the request
+		}
+		// The fast-path Params alias the reader buffer; the worker outlives
+		// the next read, so detach them.
+		if len(req.Params) != 0 {
+			req.Params = append(json.RawMessage(nil), req.Params...)
+		}
+		if len(inlineBuf) > 0 {
+			// The worker handoff below may block on a busy pool; finished
+			// inline responses must not wait behind it.
+			w.sendBytes(inlineBuf)
+			inlineBuf = inlineBuf[:0]
+		}
+		reqCh <- req
+	}
+
+	w.sendBytes(inlineBuf) // responses still parked when the loop exited
+	close(reqCh)
+	wg.Wait()
+	if watching {
+		// The connection is now dedicated to the stream; in-flight unary
+		// responses are already queued, and the client demuxes by ID.
+		watch.run(ctx, w.send, watchID)
+	}
+	w.close()
+}
+
+// readLimitedLine reads one newline-terminated line, growing up to max
+// bytes. When the line exceeds max it drains the remainder and returns
+// tooLong=true with the first-kilobyte prefix (for request-ID salvage).
+// json.Unmarshal of the returned line must complete before the next call:
+// the slice aliases the reader's internal buffer.
+func readLimitedLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	frag, err := br.ReadSlice('\n')
+	if err == nil || err == io.EOF {
+		// The line (or final unterminated fragment) is fully consumed;
+		// nothing is left to drain even if it is over the cap.
+		if err == io.EOF && len(frag) == 0 {
+			return nil, false, io.EOF
+		}
+		if len(frag) > max {
+			return capPrefix(frag), true, nil
+		}
+		return frag, false, nil
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, false, err
+	}
+	// Line longer than the reader's buffer: accumulate up to max.
+	acc := append([]byte(nil), frag...)
+	for {
+		frag, err = br.ReadSlice('\n')
+		acc = append(acc, frag...)
+		switch err {
+		case nil, io.EOF:
+			if len(acc) > max {
+				return capPrefix(acc), true, nil
+			}
+			return acc, false, nil
+		case bufio.ErrBufferFull:
+			if len(acc) > max {
+				// Over the cap with the newline still ahead: discard the
+				// rest of the line so the next read starts a fresh request.
+				return capPrefix(acc), true, drainLine(br)
+			}
+		default:
+			return nil, false, err
+		}
+	}
+}
+
+// hasCompleteLine reports whether the reader already holds a full request
+// line, i.e. whether the next read is guaranteed not to block.
+func hasCompleteLine(br *bufio.Reader) bool {
+	n := br.Buffered()
+	if n == 0 {
+		return false
+	}
+	peek, _ := br.Peek(n)
+	return bytes.IndexByte(peek, '\n') >= 0
+}
+
+// drainLine discards input until the end of the current (overlong) line.
+func drainLine(br *bufio.Reader) error {
+	for {
+		_, err := br.ReadSlice('\n')
+		switch err {
+		case bufio.ErrBufferFull:
+			continue
+		case nil, io.EOF:
+			return nil
+		default:
+			return err
+		}
+	}
+}
+
+// capPrefix copies at most 1 KB of an oversized line so the reader buffer
+// can be reused while the error response is built.
+func capPrefix(b []byte) []byte {
+	if len(b) > 1024 {
+		b = b[:1024]
+	}
+	return append([]byte(nil), b...)
+}
+
+// peekRequestID salvages the "id" field from an oversized request's
+// prefix so the typed error lands on the right pending call. The client
+// marshals Request with id first, so the field is almost always within
+// the first kilobyte; 0 (matching no call) is returned when it is not.
+func peekRequestID(prefix []byte) uint64 {
+	i := bytes.Index(prefix, []byte(`"id"`))
+	if i < 0 {
+		return 0
+	}
+	i += len(`"id"`)
+	for i < len(prefix) && (prefix[i] == ':' || prefix[i] == ' ' || prefix[i] == '\t') {
+		i++
+	}
+	var id uint64
+	start := i
+	for i < len(prefix) && prefix[i] >= '0' && prefix[i] <= '9' {
+		id = id*10 + uint64(prefix[i]-'0')
+		i++
+	}
+	if i == start {
+		return 0
+	}
+	return id
+}

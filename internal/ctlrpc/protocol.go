@@ -6,7 +6,10 @@
 // calls for tooling such as cmd/lwfctl.
 package ctlrpc
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"strings"
+)
 
 // Request is one control-plane call.
 type Request struct {
@@ -27,6 +30,7 @@ const (
 	MethodStatus      = "status"
 	MethodCompose     = "compose"
 	MethodDestroy     = "destroy"
+	MethodEnsure      = "ensure"
 	MethodSlice       = "slice"
 	MethodFailCube    = "fail-cube"
 	MethodRepairCube  = "repair-cube"
@@ -37,6 +41,17 @@ const (
 	MethodRepairLink  = "repair-link"
 	MethodTEStatus    = "te-status"
 )
+
+// errRequestTooLarge is the wire error text for a request line exceeding
+// the server's size cap. The oversized line is drained and the connection
+// stays usable; IsRequestTooLarge recognizes the error on the client side.
+const errRequestTooLarge = "request too large"
+
+// IsRequestTooLarge reports whether a call failed because the request line
+// exceeded the server's per-request size cap.
+func IsRequestTooLarge(err error) bool {
+	return err != nil && strings.Contains(err.Error(), errRequestTooLarge)
+}
 
 // TEStatusResult reports the state of a daemon's topology-engineering
 // loop. Enabled is false when the daemon runs no TE loop; the remaining
@@ -113,9 +128,27 @@ type SliceResult struct {
 	WorstMarginDB float64 `json:"worstMarginDb"`
 }
 
-// NameParams addresses a slice by name.
+// NameParams addresses a slice by name. IfPresent makes a destroy of an
+// absent slice succeed as a no-op (reconciler idempotency); it is ignored
+// by the other name-addressed methods.
 type NameParams struct {
-	Name string `json:"name"`
+	Name      string `json:"name"`
+	IfPresent bool   `json:"ifPresent,omitempty"`
+}
+
+// EnsureParams drives core.Fabric.EnsureSlice over the wire: make the
+// named slice exist with the given shape. An empty cube list reuses an
+// existing slice's cubes and is an error for a new slice.
+type EnsureParams struct {
+	Name  string `json:"name"`
+	Shape [3]int `json:"shape"`
+	Cubes []int  `json:"cubes,omitempty"`
+}
+
+// EnsureResult reports the ensured slice and whether hardware changed.
+type EnsureResult struct {
+	Slice   SliceResult `json:"slice"`
+	Changed bool        `json:"changed"`
 }
 
 // CubeParams addresses a cube.

@@ -1,0 +1,74 @@
+package ctlrpc
+
+import (
+	"strings"
+
+	"lightwave/internal/fleet"
+	"lightwave/internal/topo"
+)
+
+// RemoteBackend adapts a fabric daemon reached over ctlrpc to the
+// fleet.Backend interface, so a fleet.Manager can reconcile pods that live
+// behind remote lwfd daemons. Many backends (one per pod) share ONE
+// pipelined Client: the manager's per-pod reconcile workers issue their
+// ensure/destroy/status calls concurrently and the client keeps them all
+// in flight on the one connection, instead of queueing every worker
+// behind a single request/response exchange.
+//
+// Pods are scoped onto the shared fabric by a slice-name prefix
+// ("<pod>/"): Ensure and Destroy prepend it, Slices and Info see only
+// slices carrying it. Intents must pin cubes — the remote fabric does not
+// place slices (core.EnsureSlice rejects a new slice with no cubes).
+type RemoteBackend struct {
+	c      *Client
+	prefix string
+}
+
+// NewRemoteBackend wraps a shared client; pod names the backend's scope
+// prefix (it must be unique per backend on one daemon).
+func NewRemoteBackend(c *Client, pod string) *RemoteBackend {
+	return &RemoteBackend{c: c, prefix: pod + "/"}
+}
+
+// Ensure implements fleet.Backend over MethodEnsure.
+func (b *RemoteBackend) Ensure(name string, shape topo.Shape, cubes []int) (bool, error) {
+	_, changed, err := b.c.Ensure(b.prefix+name, [3]int{shape.X, shape.Y, shape.Z}, cubes)
+	return changed, err
+}
+
+// Destroy implements fleet.Backend; destroying an absent slice is a no-op.
+func (b *RemoteBackend) Destroy(name string) error {
+	return b.c.DestroyIfPresent(b.prefix + name)
+}
+
+// Slices implements fleet.Backend: the daemon's slices carrying this
+// backend's prefix, names unscoped, sorted (the daemon reports them
+// sorted already).
+func (b *RemoteBackend) Slices() []string {
+	st, err := b.c.Status()
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, s := range st.Slices {
+		if strings.HasPrefix(s, b.prefix) {
+			names = append(names, strings.TrimPrefix(s, b.prefix))
+		}
+	}
+	return names
+}
+
+// Info implements fleet.Backend. Cube and circuit counts are fabric-wide
+// (the daemon hosts every scoped pod), slice names are this pod's.
+func (b *RemoteBackend) Info() fleet.PodInfo {
+	st, err := b.c.Status()
+	if err != nil {
+		return fleet.PodInfo{}
+	}
+	return fleet.PodInfo{
+		InstalledCubes: st.InstalledCubes,
+		FreeCubes:      len(st.FreeCubes),
+		Slices:         b.Slices(),
+		Circuits:       st.TotalCircuits,
+	}
+}

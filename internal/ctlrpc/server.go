@@ -1,25 +1,46 @@
 package ctlrpc
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"lightwave/internal/core"
+	"lightwave/internal/telemetry"
 	"lightwave/internal/topo"
 )
 
 // Server serves the control protocol for one fabric. Fabric methods are
-// not concurrency-safe, so the server serializes all mutations.
+// not concurrency-safe, so mutations serialize on a write lock; the
+// methods marked read-only in the dispatch table (status, slice, metrics,
+// te-status, chaos-status) share a read lock and run concurrently — with
+// each other, and across connections.
 type Server struct {
-	mu     sync.Mutex
-	fabric *core.Fabric
-	te     TEStatusProvider
-	chaos  ChaosProvider
+	mu      sync.RWMutex
+	fabric  *core.Fabric
+	te      TEStatusProvider
+	chaos   ChaosProvider
+	metrics *ctlMetrics
+
+	// gen counts fabric mutations; statusCache holds the marshaled status
+	// result for one generation, so the read-mostly pollers that dominate
+	// control-plane load skip both the fabric walk and the marshal.
+	gen         atomic.Uint64
+	statusCache atomic.Pointer[cachedStatus]
+
+	// MaxRequestBytes caps one request line; 0 means
+	// DefaultMaxRequestBytes. Set before Serve.
+	MaxRequestBytes int
+}
+
+// cachedStatus is one generation's marshaled status result.
+type cachedStatus struct {
+	gen uint64
+	raw json.RawMessage
 }
 
 // NewServer wraps a fabric.
@@ -34,6 +55,10 @@ func (s *Server) SetTE(p TEStatusProvider) { s.te = p }
 // SetChaos attaches a fault-injection provider. Call before Serve; a nil
 // provider reports chaos as disabled and rejects chaos-inject.
 func (s *Server) SetChaos(p ChaosProvider) { s.chaos = p }
+
+// SetMetrics exposes ctl_requests_total / ctl_inflight /
+// ctl_request_latency_seconds on the registry. Call before Serve.
+func (s *Server) SetMetrics(reg *telemetry.Registry) { s.metrics = newCtlMetrics(reg) }
 
 // Serve accepts connections until the listener closes or ctx is cancelled.
 func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
@@ -70,38 +95,111 @@ func serveLoop(ctx context.Context, lis net.Listener, handle func(context.Contex
 }
 
 func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
-	defer conn.Close()
-	go func() {
-		<-ctx.Done()
-		conn.Close()
-	}()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var req Request
-		resp := Response{}
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp.Error = fmt.Sprintf("bad request: %v", err)
-		} else {
-			resp = s.dispatch(req)
-		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
+	servePipelinedConn(ctx, conn, s.MaxRequestBytes, s.metrics, s.dispatch, s.tryInline, nil)
+}
+
+// fabricHandler is one dispatch-table entry: the read/mutate
+// classification decides which side of the server's RWMutex the call
+// takes, and inline marks read-only handlers the connection reader may
+// execute in place of a worker handoff.
+type fabricHandler struct {
+	readOnly bool
+	// inline is set only on handlers that read the server's own fabric
+	// or telemetry state and therefore cannot block once the read lock is
+	// held. Handlers that call out to attached providers (te, chaos) stay
+	// off the reader even though they are read-only: a slow provider must
+	// stall one worker, never request decoding.
+	inline bool
+	fn     func(*Server, json.RawMessage) (any, error)
+}
+
+// fabricHandlers classifies every fabric method. Read-only methods must
+// not mutate the fabric, its slices, or any provider state guarded by the
+// server lock; providers (te/chaos) are concurrency-safe by contract, so
+// their status calls are reads even though chaos-inject is a mutation.
+var fabricHandlers = map[string]fabricHandler{
+	MethodStatus:      {readOnly: true, inline: true, fn: (*Server).handleStatus},
+	MethodSlice:       {readOnly: true, inline: true, fn: (*Server).handleSlice},
+	MethodMetrics:     {readOnly: true, inline: true, fn: (*Server).handleMetrics},
+	MethodTEStatus:    {readOnly: true, fn: (*Server).handleTEStatus},
+	MethodChaosStatus: {readOnly: true, fn: chaosHandler(MethodChaosStatus)},
+
+	MethodCompose:     {fn: (*Server).handleCompose},
+	MethodDestroy:     {fn: (*Server).handleDestroy},
+	MethodEnsure:      {fn: (*Server).handleEnsure},
+	MethodReshape:     {fn: (*Server).handleReshape},
+	MethodFailCube:    {fn: (*Server).handleFailCube},
+	MethodRepairCube:  {fn: (*Server).handleRepairCube},
+	MethodInstallCube: {fn: (*Server).handleInstallCube},
+	MethodRepairLink:  {fn: (*Server).handleRepairLink},
+	MethodObserveBER:  {fn: (*Server).handleObserveBER},
+	MethodChaosInject: {fn: chaosHandler(MethodChaosInject)},
+}
+
+// chaosHandler adapts chaosCall to a dispatch-table entry for one of the
+// two chaos methods.
+func chaosHandler(method string) func(*Server, json.RawMessage) (any, error) {
+	return func(s *Server, params json.RawMessage) (any, error) {
+		return chaosCall(s.chaos, method, func(v any) error { return json.Unmarshal(params, v) })
 	}
 }
 
 func (s *Server) dispatch(req Request) Response {
+	h, ok := fabricHandlers[req.Method]
+	if !ok {
+		return marshalResponse(req.ID, nil, fmt.Errorf("unknown method %q", req.Method))
+	}
+	if h.readOnly {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.dispatchReadLocked(req, h)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	result, err := s.call(req.Method, req.Params)
+	s.gen.Add(1) // any mutation invalidates the status cache
+	result, err := h.fn(s, req.Params)
 	return marshalResponse(req.ID, result, err)
 }
+
+// tryInline executes read-only, provider-free methods on the connection
+// reader's goroutine, skipping the worker handoff. It declines — sending
+// the request down the normal worker path — when the method is not
+// inline-safe or a mutation currently holds the write lock, so decoding
+// never stalls behind the fabric.
+func (s *Server) tryInline(req Request) (Response, bool) {
+	h, ok := fabricHandlers[req.Method]
+	if !ok || !h.inline {
+		return Response{}, false
+	}
+	if !s.mu.TryRLock() {
+		return Response{}, false
+	}
+	defer s.mu.RUnlock()
+	return s.dispatchReadLocked(req, h), true
+}
+
+// dispatchReadLocked runs one read-only handler; s.mu must be read-held.
+func (s *Server) dispatchReadLocked(req Request, h fabricHandler) Response {
+	if req.Method == MethodStatus {
+		// Serve status from the generation-keyed cache: under the read
+		// lock no mutation can interleave, so a hit is exactly the
+		// fabric's current state and a rebuild is safe to publish.
+		gen := s.gen.Load()
+		if c := s.statusCache.Load(); c != nil && c.gen == gen {
+			return Response{ID: req.ID, Result: c.raw}
+		}
+		resp := marshalResponse(req.ID, mustStatus(s.handleStatus(nil)), nil)
+		if resp.Error == "" {
+			s.statusCache.Store(&cachedStatus{gen: gen, raw: resp.Result})
+		}
+		return resp
+	}
+	result, err := h.fn(s, req.Params)
+	return marshalResponse(req.ID, result, err)
+}
+
+// mustStatus narrows handleStatus's (any, error) — it never fails.
+func mustStatus(result any, _ error) any { return result }
 
 // marshalResponse packages a call's outcome as the wire response.
 func marshalResponse(id uint64, result any, err error) Response {
@@ -119,133 +217,151 @@ func marshalResponse(id uint64, result any, err error) Response {
 	return resp
 }
 
-func (s *Server) call(method string, params json.RawMessage) (any, error) {
-	switch method {
-	case MethodStatus:
-		st := StatusResult{
-			InstalledCubes: s.fabric.InstalledCubes(),
-			FreeCubes:      s.fabric.FreeCubes(),
-			TotalCircuits:  s.fabric.TotalCircuits(),
-		}
-		for _, sl := range s.fabric.Slices() {
-			st.Slices = append(st.Slices, sl.Name)
-		}
-		return st, nil
-
-	case MethodCompose:
-		var p ComposeParams
-		if err := json.Unmarshal(params, &p); err != nil {
-			return nil, fmt.Errorf("bad params: %w", err)
-		}
-		shape := topo.Shape{X: p.Shape[0], Y: p.Shape[1], Z: p.Shape[2]}
-		sl, err := s.fabric.ComposeSlice(p.Name, shape, p.Cubes)
-		if err != nil {
-			return nil, err
-		}
-		return sliceResult(sl), nil
-
-	case MethodDestroy:
-		var p NameParams
-		if err := json.Unmarshal(params, &p); err != nil {
-			return nil, fmt.Errorf("bad params: %w", err)
-		}
-		if err := s.fabric.DestroySlice(p.Name); err != nil {
-			return nil, err
-		}
-		return struct{}{}, nil
-
-	case MethodSlice:
-		var p NameParams
-		if err := json.Unmarshal(params, &p); err != nil {
-			return nil, fmt.Errorf("bad params: %w", err)
-		}
-		sl, err := s.fabric.GetSlice(p.Name)
-		if err != nil {
-			return nil, err
-		}
-		return sliceResult(sl), nil
-
-	case MethodFailCube:
-		var p CubeParams
-		if err := json.Unmarshal(params, &p); err != nil {
-			return nil, fmt.Errorf("bad params: %w", err)
-		}
-		rc, err := s.fabric.MarkCubeFailed(p.Cube)
-		if err != nil {
-			return nil, err
-		}
-		return FailCubeResult{Replacement: rc}, nil
-
-	case MethodRepairCube:
-		var p CubeParams
-		if err := json.Unmarshal(params, &p); err != nil {
-			return nil, fmt.Errorf("bad params: %w", err)
-		}
-		if err := s.fabric.RepairCube(p.Cube); err != nil {
-			return nil, err
-		}
-		return struct{}{}, nil
-
-	case MethodInstallCube:
-		var p CubeParams
-		if err := json.Unmarshal(params, &p); err != nil {
-			return nil, fmt.Errorf("bad params: %w", err)
-		}
-		if err := s.fabric.InstallCube(p.Cube); err != nil {
-			return nil, err
-		}
-		return struct{}{}, nil
-
-	case MethodRepairLink:
-		var p RepairLinkParams
-		if err := json.Unmarshal(params, &p); err != nil {
-			return nil, fmt.Errorf("bad params: %w", err)
-		}
-		spare, err := s.fabric.RepairLink(topo.OCSID(p.OCS), p.Cube)
-		if err != nil {
-			return nil, err
-		}
-		return RepairLinkResult{SparePort: int(spare)}, nil
-
-	case MethodMetrics:
-		reg := s.fabric.Metrics()
-		if reg == nil {
-			return MetricsResult{}, nil
-		}
-		return MetricsResult{Text: reg.Text()}, nil
-
-	case MethodTEStatus:
-		if s.te == nil {
-			return TEStatusResult{}, nil
-		}
-		return s.te.TEStatus(), nil
-
-	case MethodChaosInject, MethodChaosStatus:
-		return chaosCall(s.chaos, method, func(v any) error { return json.Unmarshal(params, v) })
-
-	case MethodReshape:
-		var p ReshapeParams
-		if err := json.Unmarshal(params, &p); err != nil {
-			return nil, fmt.Errorf("bad params: %w", err)
-		}
-		shape := topo.Shape{X: p.Shape[0], Y: p.Shape[1], Z: p.Shape[2]}
-		sl, err := s.fabric.ReshapeSlice(p.Name, shape, p.Cubes)
-		if err != nil {
-			return nil, err
-		}
-		return sliceResult(sl), nil
-
-	case MethodObserveBER:
-		var p ObserveBERParams
-		if err := json.Unmarshal(params, &p); err != nil {
-			return nil, fmt.Errorf("bad params: %w", err)
-		}
-		anom := s.fabric.ObserveLinkBER(topo.OCSID(p.OCS), p.Port, p.BER)
-		return ObserveBERResult{Anomalous: anom}, nil
-
-	default:
-		return nil, fmt.Errorf("unknown method %q", method)
+func (s *Server) handleStatus(json.RawMessage) (any, error) {
+	st := StatusResult{
+		InstalledCubes: s.fabric.InstalledCubes(),
+		FreeCubes:      s.fabric.FreeCubes(),
+		TotalCircuits:  s.fabric.TotalCircuits(),
 	}
+	for _, sl := range s.fabric.Slices() {
+		st.Slices = append(st.Slices, sl.Name)
+	}
+	return st, nil
+}
+
+func (s *Server) handleCompose(params json.RawMessage) (any, error) {
+	var p ComposeParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("bad params: %w", err)
+	}
+	shape := topo.Shape{X: p.Shape[0], Y: p.Shape[1], Z: p.Shape[2]}
+	sl, err := s.fabric.ComposeSlice(p.Name, shape, p.Cubes)
+	if err != nil {
+		return nil, err
+	}
+	return sliceResult(sl), nil
+}
+
+func (s *Server) handleDestroy(params json.RawMessage) (any, error) {
+	var p NameParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("bad params: %w", err)
+	}
+	if err := s.fabric.DestroySlice(p.Name); err != nil {
+		if p.IfPresent && errors.Is(err, core.ErrNoSlice) {
+			return struct{}{}, nil
+		}
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
+func (s *Server) handleEnsure(params json.RawMessage) (any, error) {
+	var p EnsureParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("bad params: %w", err)
+	}
+	shape := topo.Shape{X: p.Shape[0], Y: p.Shape[1], Z: p.Shape[2]}
+	sl, changed, err := s.fabric.EnsureSlice(p.Name, shape, p.Cubes)
+	if err != nil {
+		return nil, err
+	}
+	return EnsureResult{Slice: sliceResult(sl), Changed: changed}, nil
+}
+
+func (s *Server) handleReshape(params json.RawMessage) (any, error) {
+	var p ReshapeParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("bad params: %w", err)
+	}
+	shape := topo.Shape{X: p.Shape[0], Y: p.Shape[1], Z: p.Shape[2]}
+	sl, err := s.fabric.ReshapeSlice(p.Name, shape, p.Cubes)
+	if err != nil {
+		return nil, err
+	}
+	return sliceResult(sl), nil
+}
+
+func (s *Server) handleSlice(params json.RawMessage) (any, error) {
+	var p NameParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("bad params: %w", err)
+	}
+	sl, err := s.fabric.GetSlice(p.Name)
+	if err != nil {
+		return nil, err
+	}
+	return sliceResult(sl), nil
+}
+
+func (s *Server) handleFailCube(params json.RawMessage) (any, error) {
+	var p CubeParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("bad params: %w", err)
+	}
+	rc, err := s.fabric.MarkCubeFailed(p.Cube)
+	if err != nil {
+		return nil, err
+	}
+	return FailCubeResult{Replacement: rc}, nil
+}
+
+func (s *Server) handleRepairCube(params json.RawMessage) (any, error) {
+	var p CubeParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("bad params: %w", err)
+	}
+	if err := s.fabric.RepairCube(p.Cube); err != nil {
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
+func (s *Server) handleInstallCube(params json.RawMessage) (any, error) {
+	var p CubeParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("bad params: %w", err)
+	}
+	if err := s.fabric.InstallCube(p.Cube); err != nil {
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
+func (s *Server) handleRepairLink(params json.RawMessage) (any, error) {
+	var p RepairLinkParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("bad params: %w", err)
+	}
+	spare, err := s.fabric.RepairLink(topo.OCSID(p.OCS), p.Cube)
+	if err != nil {
+		return nil, err
+	}
+	return RepairLinkResult{SparePort: int(spare)}, nil
+}
+
+func (s *Server) handleMetrics(json.RawMessage) (any, error) {
+	reg := s.fabric.Metrics()
+	if reg == nil {
+		return MetricsResult{}, nil
+	}
+	return MetricsResult{Text: reg.Text()}, nil
+}
+
+func (s *Server) handleObserveBER(params json.RawMessage) (any, error) {
+	var p ObserveBERParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("bad params: %w", err)
+	}
+	anom := s.fabric.ObserveLinkBER(topo.OCSID(p.OCS), p.Port, p.BER)
+	return ObserveBERResult{Anomalous: anom}, nil
+}
+
+func (s *Server) handleTEStatus(json.RawMessage) (any, error) {
+	if s.te == nil {
+		return TEStatusResult{}, nil
+	}
+	return s.te.TEStatus(), nil
 }
 
 func sliceResult(sl *core.Slice) SliceResult {

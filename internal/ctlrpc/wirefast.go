@@ -1,0 +1,166 @@
+package ctlrpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+)
+
+// Hand-rolled encode/decode for the two wire frames. The protocol is
+// NDJSON, but both frame types are tiny fixed-shape envelopes around an
+// opaque result/params payload, and at fleet-scale request rates the
+// generic encoding/json machinery dominates the control plane's CPU
+// profile. Encoding appends the fields directly (the payload is already
+// marshaled JSON); decoding takes a fast path through the envelope when
+// the fields arrive in the canonical order both our encoder and
+// encoding/json produce, and falls back to encoding/json for anything
+// else, so interoperability is unchanged.
+
+// appendJSONString appends s as a JSON string literal. Strings needing
+// escapes take the encoding/json path.
+func appendJSONString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			quoted, err := json.Marshal(s)
+			if err != nil {
+				// A Go string always marshals; keep the frame well-formed
+				// regardless.
+				return append(dst, `""`...)
+			}
+			return append(dst, quoted...)
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"')
+}
+
+// appendRequest appends req as one newline-terminated wire line.
+func appendRequest(dst []byte, req *Request) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendUint(dst, req.ID, 10)
+	dst = append(dst, `,"method":`...)
+	dst = appendJSONString(dst, req.Method)
+	if len(req.Params) != 0 {
+		dst = append(dst, `,"params":`...)
+		dst = append(dst, req.Params...)
+	}
+	return append(dst, '}', '\n')
+}
+
+// appendResponse appends resp as one newline-terminated wire line.
+func appendResponse(dst []byte, resp *Response) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendUint(dst, resp.ID, 10)
+	if resp.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, resp.Error)
+	}
+	if len(resp.Result) != 0 {
+		dst = append(dst, `,"result":`...)
+		dst = append(dst, resp.Result...)
+	}
+	return append(dst, '}', '\n')
+}
+
+// internedMethods maps every known method name to itself, so the request
+// parser's string(bytes) conversion is alloc-free for real traffic (a
+// map[string]X lookup keyed by []byte does not allocate).
+var internedMethods = map[string]string{}
+
+func init() {
+	for _, m := range []string{
+		MethodStatus, MethodCompose, MethodDestroy, MethodEnsure,
+		MethodSlice, MethodFailCube, MethodRepairCube, MethodInstallCube,
+		MethodObserveBER, MethodReshape, MethodMetrics, MethodRepairLink,
+		MethodTEStatus, MethodChaosInject, MethodChaosStatus,
+		MethodFleetStatus, MethodApplyIntent, MethodDrain, MethodUndrain,
+		MethodWatch, MethodSchedStatus, MethodSchedSubmit,
+	} {
+		internedMethods[m] = m
+	}
+}
+
+// internMethod converts a method token without allocating when known.
+func internMethod(b []byte) string {
+	if m, ok := internedMethods[string(b)]; ok {
+		return m
+	}
+	return string(b)
+}
+
+// eatUint consumes a decimal literal at line[i:].
+func eatUint(line []byte, i int) (uint64, int, bool) {
+	var v uint64
+	start := i
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		v = v*10 + uint64(line[i]-'0')
+		i++
+	}
+	return v, i, i > start
+}
+
+// tail trims one closing brace plus surrounding whitespace off the end of
+// a frame, returning the payload span and whether the frame ended cleanly.
+func tail(line []byte, i int) ([]byte, bool) {
+	rest := bytes.TrimRight(line[i:], " \t\r\n")
+	if len(rest) == 0 || rest[len(rest)-1] != '}' {
+		return nil, false
+	}
+	return rest[:len(rest)-1], true
+}
+
+// parseResponse decodes one response line. The returned Result aliases
+// line on the fast path; callers must copy it if it outlives the buffer.
+func parseResponse(line []byte, resp *Response) error {
+	// Fast path: {"id":N} / {"id":N,"result":...}; anything else —
+	// reordered fields, an error string needing unescaping — falls back.
+	if rest, ok := bytes.CutPrefix(line, []byte(`{"id":`)); ok {
+		id, i, ok := eatUint(rest, 0)
+		if ok {
+			switch {
+			case bytes.HasPrefix(rest[i:], []byte{'}'}):
+				*resp = Response{ID: id}
+				return nil
+			case bytes.HasPrefix(rest[i:], []byte(`,"result":`)):
+				if payload, ok := tail(rest, i+len(`,"result":`)); ok {
+					*resp = Response{ID: id, Result: payload}
+					return nil
+				}
+			}
+		}
+	}
+	*resp = Response{}
+	return json.Unmarshal(line, resp)
+}
+
+// parseRequest decodes one request line. The returned Method and Params
+// alias line on the fast path; callers must copy what outlives the buffer.
+func parseRequest(line []byte, req *Request) error {
+	if rest, ok := bytes.CutPrefix(line, []byte(`{"id":`)); ok {
+		id, i, ok := eatUint(rest, 0)
+		if ok && bytes.HasPrefix(rest[i:], []byte(`,"method":"`)) {
+			i += len(`,"method":"`)
+			j := i
+			for j < len(rest) && rest[j] != '"' && rest[j] != '\\' {
+				j++
+			}
+			if j < len(rest) && rest[j] == '"' {
+				method := rest[i:j]
+				switch {
+				case bytes.HasPrefix(rest[j+1:], []byte{'}'}):
+					*req = Request{ID: id, Method: internMethod(method)}
+					return nil
+				case bytes.HasPrefix(rest[j+1:], []byte(`,"params":`)):
+					if payload, ok := tail(rest, j+1+len(`,"params":`)); ok {
+						*req = Request{ID: id, Method: internMethod(method), Params: payload}
+						return nil
+					}
+				}
+			}
+		}
+	}
+	*req = Request{}
+	return json.Unmarshal(line, req)
+}

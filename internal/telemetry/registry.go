@@ -46,6 +46,17 @@ type Gauge struct {
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
 
+// Add atomically adds d to the gauge (d may be negative), so concurrent
+// in-flight style accounting needs no external lock.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(floatFromBits(old)+d)) {
+			return
+		}
+	}
+}
+
 // Value returns the stored value.
 func (g *Gauge) Value() float64 { return floatFromBits(g.bits.Load()) }
 
@@ -117,6 +128,46 @@ type DistSnapshot struct {
 	Min, Max  float64
 	Bounds    []float64
 	Counts    []int64 // len(Bounds)+1; last bucket is overflow
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket holding the target rank, clamped to the observed
+// [Min, Max] range. It returns 0 when the snapshot is empty.
+func (s DistSnapshot) Quantile(q float64) float64 {
+	if s.N == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.N)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := s.Min
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Max
+			if i < len(s.Bounds) && s.Bounds[i] < hi {
+				hi = s.Bounds[i]
+			}
+			if lo > hi {
+				lo = hi
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return s.Max
 }
 
 // Registry is a named collection of metrics. The zero value is unusable; use

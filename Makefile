@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-par race-te race-chaos race-sched race-ctl bench bench-sim bench-dcn bench-te bench-chaos bench-sched bench-ctl profile-dcn experiments clean
+.PHONY: check vet build test race race-par race-te race-chaos race-sched race-ctl race-wal bench bench-sim bench-dcn bench-te bench-chaos bench-sched bench-ctl bench-wal profile-dcn experiments clean
 
 # The gate every change must pass: vet, build everything, race-test the
 # parallel engine under contention, race-test the TE loop (its Loop is
@@ -10,8 +10,11 @@ GO ?= go
 # shared between the runner tick loop, fleet-event feedback, and RPC
 # status/submit), race-test the control protocol (one pipelined client is
 # shared by N callers and one server connection runs decode, a worker
-# pool and encode concurrently), then race-test everything.
-check: vet build race-par race-te race-chaos race-sched race-ctl race
+# pool and encode concurrently), race-test the durable-state subsystem
+# (its group-commit writer batches concurrent appenders and the store is
+# shared by three journal sources plus the checkpointer), then race-test
+# everything.
+check: vet build race-par race-te race-chaos race-sched race-ctl race-wal race
 
 race-par:
 	$(GO) test -race ./internal/par/...
@@ -28,8 +31,14 @@ race-sched:
 race-ctl:
 	$(GO) test -race ./internal/ctlrpc/...
 
+race-wal:
+	$(GO) test -race ./internal/wal/...
+
+# gofmt -l prints unformatted files; any hit fails the target with a
+# readable diagnostic.
 vet:
 	$(GO) vet ./...
+	@fmtout=$$(gofmt -l cmd internal); if [ -n "$$fmtout" ]; then echo "gofmt needed:"; echo "$$fmtout"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -92,6 +101,15 @@ bench-sched:
 # in-repo; the pipelined configuration must sustain >=5x the baseline.
 bench-ctl:
 	$(GO) test -json -run '^$$' -bench 'CtlRPCThroughput|CtlRPCPipelined' -benchmem -count=5 ./internal/ctlrpc > BENCH_ctl.json
+
+# Repeated runs of the WAL hot paths in machine-readable form: the
+# group-commit append under real fsyncs (WALAppend), the fsync-free
+# framing cost (WALAppendNoSync), fsync amortization across concurrent
+# appenders (WALAppendParallel), and cold-start replay (WALReplay).
+# Commit BENCH_wal.json so the durability overhead trajectory is tracked
+# in-repo.
+bench-wal:
+	$(GO) test -json -run '^$$' -bench 'WALAppend|WALReplay' -benchmem -count=5 ./internal/wal > BENCH_wal.json
 
 profile-dcn:
 	$(GO) test -run '^$$' -bench 'DCNTopologyEngineering' -benchtime 5x -cpuprofile dcn.cpuprof -o dcn.test .

@@ -48,6 +48,7 @@ func main() {
 		{"campus", "campus fabric with shifting services", campusExperiment},
 		{"te", "online traffic-aware topology engineering loop", teExperiment},
 		{"chaos", "single-OCS-outage resilience drill", chaosExperiment},
+		{"crashrestart", "WAL crash-restart recovery drill", crashRestartExperiment},
 	}
 
 	if *list {

@@ -86,7 +86,9 @@ chaos commands (daemon must run with -chaos):
   chaos inject stuck-drain <pod> <ocs>
 sched commands (lwfleetd must run with -sched):
   sched status
-  sched submit <cubes> <seconds>`)
+  sched submit <cubes> <seconds>
+wal commands (daemon must run with -state-dir):
+  wal status`)
 }
 
 func dispatch(c *ctlrpc.Client, args []string) error {
@@ -245,6 +247,12 @@ func dispatch(c *ctlrpc.Client, args []string) error {
 			return fmt.Errorf("sched needs a subcommand (status, submit)")
 		}
 		return dispatchSched(c, args[1:])
+
+	case "wal":
+		if len(args) < 2 {
+			return fmt.Errorf("wal needs a subcommand (status)")
+		}
+		return dispatchWal(c, args[1:])
 
 	case "observe-ber":
 		if len(args) != 4 {

@@ -7,9 +7,17 @@
 // trunks as the synthetic offered load shifts; -te-epoch enables it and
 // `lwfctl te status` inspects it.
 //
+// With -state-dir the daemon journals every successfully executed
+// mutating command (compose, destroy, ensure, reshape, cube and link
+// maintenance) to a write-ahead log (internal/wal) before the response is
+// written, and snapshots the fabric as a replayable command list. On
+// restart it re-executes the snapshot plus the journaled tail against a
+// freshly built fabric, reproducing slices and cube state. Without the
+// flag nothing touches disk and behavior is unchanged.
+//
 // Usage:
 //
-//	lwfd -addr 127.0.0.1:7600 -cubes 64 [-metrics-addr 127.0.0.1:7680] [-te-epoch 2s] [-chaos]
+//	lwfd -addr 127.0.0.1:7600 -cubes 64 [-metrics-addr 127.0.0.1:7680] [-te-epoch 2s] [-chaos] [-state-dir /var/lib/lwfd]
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"lightwave/internal/te"
 	"lightwave/internal/telemetry"
 	"lightwave/internal/topo"
+	"lightwave/internal/wal"
 )
 
 func main() {
@@ -44,11 +53,37 @@ func main() {
 	teBlocks := flag.Int("te-blocks", 8, "aggregation blocks in the TE loop's DCN fabric")
 	teUplinks := flag.Int("te-uplinks", 14, "uplinks per block in the TE loop's DCN fabric")
 	chaosOn := flag.Bool("chaos", false, "enable fault injection (ber-degrade via chaos-inject)")
+	stateDir := flag.String("state-dir", "", "durable-state directory: WAL + snapshots with crash recovery (disabled when empty)")
+	stateSnapshotEvery := flag.Duration("state-snapshot", time.Minute, "periodic snapshot + log compaction interval (0 snapshots only on shutdown)")
 	flag.Parse()
 
-	if err := run(*addr, *metricsAddr, *cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks, *chaosOn); err != nil {
+	if err := validateFlags(*cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks, *stateSnapshotEvery); err != nil {
+		log.Fatalf("lwfd: %v", err)
+	}
+	if err := run(*addr, *metricsAddr, *cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks, *chaosOn, *stateDir, *stateSnapshotEvery); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// validateFlags rejects nonsense flag values up front with a one-line
+// error instead of a late failure deep in construction.
+func validateFlags(cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int, snapEvery time.Duration) error {
+	if cubes < 1 || cubes > 64 {
+		return fmt.Errorf("-cubes must be in 1-64, got %d", cubes)
+	}
+	if _, err := generationByName(transceiver); err != nil {
+		return fmt.Errorf("-transceiver: %v", err)
+	}
+	if teEpoch < 0 {
+		return fmt.Errorf("-te-epoch must not be negative, got %s", teEpoch)
+	}
+	if teEpoch > 0 && (teBlocks < 2 || teUplinks < 1) {
+		return fmt.Errorf("-te-blocks/-te-uplinks must be at least 2/1, got %d/%d", teBlocks, teUplinks)
+	}
+	if snapEvery < 0 {
+		return fmt.Errorf("-state-snapshot must not be negative, got %s", snapEvery)
+	}
+	return nil
 }
 
 // fabricChaos adapts the single-fabric daemon to the chaos RPCs. The only
@@ -93,11 +128,12 @@ func (p *fabricChaos) ChaosStatus() ctlrpc.ChaosStatusResult {
 }
 
 // startTE builds the DCN fabric + TE loop and ticks it in the background
-// until ctx cancels, returning the loop for status serving.
-func startTE(ctx context.Context, epoch time.Duration, blocks, uplinks int) (*te.Loop, error) {
+// until ctx cancels, returning the loop for status serving. The returned
+// channel closes when the loop goroutine has fully stopped.
+func startTE(ctx context.Context, epoch time.Duration, blocks, uplinks int) (*te.Loop, chan struct{}, error) {
 	fabric, err := dcn.NewFabric(blocks, uplinks+2, ocs.DefaultConfig())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	runner, err := te.NewRunner(te.RunnerConfig{
 		Loop: te.Config{
@@ -114,20 +150,22 @@ func startTE(ctx context.Context, epoch time.Duration, blocks, uplinks int) (*te
 		},
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := fabric.Program(runner.Loop().Current()); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		if err := runner.Run(ctx); err != nil {
 			log.Printf("lwfd: te loop stopped: %v", err)
 		}
 	}()
-	return runner.Loop(), nil
+	return runner.Loop(), done, nil
 }
 
-func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int, chaosOn bool) error {
+func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int, chaosOn bool, stateDir string, stateSnapshotEvery time.Duration) error {
 	cfg := core.DefaultConfig(cubes)
 	if transceiver != cfg.Transceiver.Name {
 		gen, err := generationByName(transceiver)
@@ -153,6 +191,35 @@ func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.D
 		return fmt.Errorf("building fabric: %w", err)
 	}
 
+	srv := ctlrpc.NewServer(fabric)
+	// ctl_requests_total / ctl_inflight / ctl_request_latency_seconds ride
+	// the same registry as the fabric metrics.
+	srv.SetMetrics(cfg.Metrics)
+
+	// Durable state: replay the snapshot's command list plus the journaled
+	// tail against the fresh fabric, then journal every mutating command
+	// from here on. Replay runs before the listener opens, so no client
+	// observes a half-recovered fabric.
+	var store *wal.Store
+	if stateDir != "" {
+		var err error
+		store, err = wal.OpenStore(stateDir, wal.Options{Metrics: cfg.Metrics})
+		if err != nil {
+			return fmt.Errorf("lwfd: opening -state-dir: %w", err)
+		}
+		defer store.Close()
+		applied, failed := store.ReplayCommands(srv.ApplyCommand)
+		if applied+failed > 0 {
+			log.Printf("lwfd: state dir %s: replayed %d commands (%d failed) to lsn %d",
+				stateDir, applied, failed, store.Log().LastLSN())
+		}
+		store.SetFabricSnapshot(func() ([]wal.Command, error) {
+			return srv.SnapshotCommands(cubes)
+		})
+		srv.SetJournal(store)
+		srv.SetWAL(ctlrpc.StoreWALProvider{Store: store})
+	}
+
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -170,15 +237,13 @@ func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.D
 		log.Printf("lwfd: metrics on http://%s/metrics", mlis.Addr())
 	}
 
-	srv := ctlrpc.NewServer(fabric)
-	// ctl_requests_total / ctl_inflight / ctl_request_latency_seconds ride
-	// the same registry as the fabric metrics.
-	srv.SetMetrics(cfg.Metrics)
+	var teDone chan struct{}
 	if teEpoch > 0 {
-		loop, err := startTE(ctx, teEpoch, teBlocks, teUplinks)
+		loop, done, err := startTE(ctx, teEpoch, teBlocks, teUplinks)
 		if err != nil {
 			return fmt.Errorf("starting te loop: %w", err)
 		}
+		teDone = done
 		srv.SetTE(ctlrpc.LoopTEProvider{L: loop})
 		log.Printf("lwfd: te loop on %d blocks x %d uplinks, epoch %s", teBlocks, teUplinks, teEpoch)
 	}
@@ -189,5 +254,39 @@ func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.D
 		})
 		log.Printf("lwfd: fault injection enabled (ber-degrade)")
 	}
-	return srv.Serve(ctx, lis)
+
+	if store != nil && stateSnapshotEvery > 0 {
+		go func() {
+			tick := time.NewTicker(stateSnapshotEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := store.Checkpoint(); err != nil {
+						log.Printf("lwfd: periodic snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	serveErr := srv.Serve(ctx, lis)
+
+	// Shutdown ordering: Serve has returned (all connections drained, so
+	// no command is mid-execution), the TE loop is stopped, then the
+	// clean-shutdown snapshot captures the fabric.
+	stop()
+	if teDone != nil {
+		<-teDone
+	}
+	if store != nil {
+		if err := store.Checkpoint(); err != nil {
+			log.Printf("lwfd: shutdown snapshot: %v", err)
+		} else {
+			log.Printf("lwfd: shutdown snapshot at lsn %d", store.Log().LastLSN())
+		}
+	}
+	return serveErr
 }

@@ -22,9 +22,16 @@
 // sched-status / sched-submit RPCs (lwfctl sched ...) expose the loop;
 // without the flag those RPCs report the scheduler disabled.
 //
+// With -state-dir the daemon journals every intent mutation to a
+// write-ahead log (internal/wal) and snapshots periodically: on restart
+// it replays the newest snapshot plus the log tail, re-applies the
+// recovered intents through the manager, and lets reconciliation converge
+// the fabrics back to them. Without the flag nothing touches disk and
+// behavior is unchanged.
+//
 // Usage:
 //
-//	lwfleetd -addr 127.0.0.1:7700 -pods 4 -cubes 64 [-metrics-addr 127.0.0.1:7780] [-te-epoch 2s] [-chaos] [-sched]
+//	lwfleetd -addr 127.0.0.1:7700 -pods 4 -cubes 64 [-metrics-addr 127.0.0.1:7780] [-te-epoch 2s] [-chaos] [-sched] [-state-dir /var/lib/lwfleetd]
 package main
 
 import (
@@ -50,34 +57,79 @@ import (
 	"lightwave/internal/superpod"
 	"lightwave/internal/te"
 	"lightwave/internal/telemetry"
+	"lightwave/internal/wal"
 )
 
+// config carries the parsed, validated flags into run.
+type config struct {
+	addr, metricsAddr   string
+	pods, cubes         int
+	transceiver         string
+	teEpoch             time.Duration
+	teBlocks, teUplinks int
+	chaosOn, schedOn    bool
+	schedTick           time.Duration
+	stateDir            string
+	stateSnapshotEvery  time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
-	pods := flag.Int("pods", 4, "number of superpod fabrics to manage")
-	cubes := flag.Int("cubes", 64, "installed elemental cubes per pod (1-64)")
-	transceiver := flag.String("transceiver", "2x200G-bidi-CWDM4", "transceiver generation")
-	metricsAddr := flag.String("metrics-addr", "", "HTTP /metrics and /debug/pprof listen address (disabled when empty)")
-	teEpoch := flag.Duration("te-epoch", 0, "topology-engineering epoch length (0 disables the TE loop)")
-	teBlocks := flag.Int("te-blocks", 8, "aggregation blocks in the TE loop's DCN fabric")
-	teUplinks := flag.Int("te-uplinks", 14, "uplinks per block in the TE loop's DCN fabric")
-	chaosOn := flag.Bool("chaos", false, "enable fault injection (chaos-inject / chaos-status RPCs)")
-	schedOn := flag.Bool("sched", false, "run the online slice scheduler (sched-status / sched-submit RPCs)")
-	schedTick := flag.Duration("sched-tick", 2*time.Second, "scheduler wall-clock tick; each tick advances one virtual minute")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7700", "listen address")
+	flag.IntVar(&cfg.pods, "pods", 4, "number of superpod fabrics to manage")
+	flag.IntVar(&cfg.cubes, "cubes", 64, "installed elemental cubes per pod (1-64)")
+	flag.StringVar(&cfg.transceiver, "transceiver", "2x200G-bidi-CWDM4", "transceiver generation")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "HTTP /metrics and /debug/pprof listen address (disabled when empty)")
+	flag.DurationVar(&cfg.teEpoch, "te-epoch", 0, "topology-engineering epoch length (0 disables the TE loop)")
+	flag.IntVar(&cfg.teBlocks, "te-blocks", 8, "aggregation blocks in the TE loop's DCN fabric")
+	flag.IntVar(&cfg.teUplinks, "te-uplinks", 14, "uplinks per block in the TE loop's DCN fabric")
+	flag.BoolVar(&cfg.chaosOn, "chaos", false, "enable fault injection (chaos-inject / chaos-status RPCs)")
+	flag.BoolVar(&cfg.schedOn, "sched", false, "run the online slice scheduler (sched-status / sched-submit RPCs)")
+	flag.DurationVar(&cfg.schedTick, "sched-tick", 2*time.Second, "scheduler wall-clock tick; each tick advances one virtual minute")
+	flag.StringVar(&cfg.stateDir, "state-dir", "", "durable-state directory: WAL + snapshots with crash recovery (disabled when empty)")
+	flag.DurationVar(&cfg.stateSnapshotEvery, "state-snapshot", time.Minute, "periodic snapshot + log compaction interval (0 snapshots only on shutdown)")
 	flag.Parse()
 
-	if err := run(*addr, *metricsAddr, *pods, *cubes, *transceiver, *teEpoch, *teBlocks, *teUplinks, *chaosOn, *schedOn, *schedTick); err != nil {
+	if err := validateFlags(cfg); err != nil {
+		log.Fatalf("lwfleetd: %v", err)
+	}
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// startSched runs the online slice scheduler over the superpod pods in the
-// background. The runner submits synthetic jobs from the production mix,
-// places them as slice intents through the manager, and follows fleet
-// quarantine/recovery events; the returned scheduler serves sched-status /
-// sched-submit.
-func startSched(ctx context.Context, m *fleet.Manager, podNames []string, cubes int, tick time.Duration) (*sched.Scheduler, error) {
-	runner, err := superpod.NewRunner(superpod.RunnerConfig{
+// validateFlags rejects nonsense flag combinations up front with a
+// one-line error instead of a late failure deep in construction.
+func validateFlags(cfg config) error {
+	if cfg.pods < 1 {
+		return fmt.Errorf("-pods must be at least 1, got %d", cfg.pods)
+	}
+	if cfg.cubes < 1 || cfg.cubes > 64 {
+		return fmt.Errorf("-cubes must be in 1-64, got %d", cfg.cubes)
+	}
+	if _, err := optics.GenerationByName(cfg.transceiver); err != nil {
+		return fmt.Errorf("-transceiver: %v", err)
+	}
+	if cfg.teEpoch < 0 {
+		return fmt.Errorf("-te-epoch must not be negative, got %s", cfg.teEpoch)
+	}
+	if cfg.schedTick <= 0 {
+		return fmt.Errorf("-sched-tick must be positive, got %s", cfg.schedTick)
+	}
+	if cfg.teEpoch > 0 && (cfg.teBlocks < 2 || cfg.teUplinks < 1) {
+		return fmt.Errorf("-te-blocks/-te-uplinks must be at least 2/1, got %d/%d", cfg.teBlocks, cfg.teUplinks)
+	}
+	if cfg.stateSnapshotEvery < 0 {
+		return fmt.Errorf("-state-snapshot must not be negative, got %s", cfg.stateSnapshotEvery)
+	}
+	return nil
+}
+
+// newSchedRunner builds the online slice scheduler over the superpod pods
+// without starting it, so recovery can restore the scheduler's state
+// before the first tick.
+func newSchedRunner(m *fleet.Manager, podNames []string, cubes int, tick time.Duration) (*superpod.Runner, error) {
+	return superpod.NewRunner(superpod.RunnerConfig{
 		Manager:        m,
 		Pods:           podNames,
 		InstalledCubes: cubes,
@@ -85,28 +137,20 @@ func startSched(ctx context.Context, m *fleet.Manager, podNames []string, cubes 
 		VirtualPerTick: 60,
 		Seed:           1,
 	})
-	if err != nil {
-		return nil, err
-	}
-	go func() {
-		if err := runner.Run(ctx); err != nil {
-			log.Printf("lwfleetd: sched loop stopped: %v", err)
-		}
-	}()
-	return runner.Scheduler(), nil
 }
 
 // startTE registers a DCN fabric as the "dcn" pod and ticks the TE loop
 // in the background; every stage's OCS drains ride the manager's
-// reconcile path.
-func startTE(ctx context.Context, m *fleet.Manager, epoch time.Duration, blocks, uplinks int) (*te.Loop, error) {
+// reconcile path. The returned channel closes when the loop goroutine
+// has fully stopped.
+func startTE(ctx context.Context, m *fleet.Manager, epoch time.Duration, blocks, uplinks int) (*te.Loop, chan struct{}, error) {
 	fabric, err := dcn.NewFabric(blocks, uplinks+2, ocs.DefaultConfig())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	applier, err := te.NewFleetApplier(m, "dcn", fabric)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	runner, err := te.NewRunner(te.RunnerConfig{
 		Loop: te.Config{
@@ -123,25 +167,28 @@ func startTE(ctx context.Context, m *fleet.Manager, epoch time.Duration, blocks,
 		},
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := fabric.Program(runner.Loop().Current()); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		if err := runner.Run(ctx); err != nil {
 			log.Printf("lwfleetd: te loop stopped: %v", err)
 		}
 	}()
-	return runner.Loop(), nil
+	return runner.Loop(), done, nil
 }
 
 // buildFleet constructs a manager over n simulated pods named pod0..podN-1.
 // All pods and the manager share one registry, so /metrics exposes the
 // fleet-wide reconcile counters alongside per-pod fabric telemetry. With
 // chaosOn each pod backend is wrapped in a chaos.FaultyBackend so the
-// chaos-inject RPC can fail it; the map is nil otherwise.
-func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alerts telemetry.AlertSink, chaosOn bool) (*fleet.Manager, map[string]*chaos.FaultyBackend, error) {
+// chaos-inject RPC can fail it; the map is nil otherwise. journal, when
+// non-nil, receives every intent mutation write-ahead.
+func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alerts telemetry.AlertSink, chaosOn bool, journal fleet.Journal) (*fleet.Manager, map[string]*chaos.FaultyBackend, error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("lwfleetd: need at least 1 pod, got %d", n)
 	}
@@ -149,7 +196,7 @@ func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alert
 	if chaosOn {
 		injectable = make(map[string]*chaos.FaultyBackend, n)
 	}
-	m := fleet.NewManager(fleet.Options{Metrics: reg, Alerts: alerts})
+	m := fleet.NewManager(fleet.Options{Metrics: reg, Alerts: alerts, Journal: journal})
 	for i := 0; i < n; i++ {
 		cfg := core.DefaultConfig(cubes)
 		if transceiver != cfg.Transceiver.Name {
@@ -182,7 +229,7 @@ func buildFleet(n, cubes int, transceiver string, reg *telemetry.Registry, alert
 	return m, injectable, nil
 }
 
-func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch time.Duration, teBlocks, teUplinks int, chaosOn bool, schedOn bool, schedTick time.Duration) error {
+func run(cfg config) error {
 	reg := telemetry.NewRegistry()
 	// Simulation fan-out (Monte Carlo, sweeps), the DCN flow simulator,
 	// the TE loop, fault injection and the slice scheduler share the fleet
@@ -197,24 +244,48 @@ func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch 
 		log.Printf("ALERT [%s] %s: %s", a.Severity, a.Source, a.Message)
 	})
 
-	m, injectable, err := buildFleet(pods, cubes, transceiver, reg, alerts, chaosOn)
+	// Durable state: open the WAL before anything mutates, suppress
+	// journaling while the daemon reconstructs what the log already
+	// records, and resume once recovery is done.
+	var store *wal.Store
+	var journal fleet.Journal
+	if cfg.stateDir != "" {
+		var err error
+		store, err = wal.OpenStore(cfg.stateDir, wal.Options{Metrics: reg})
+		if err != nil {
+			return fmt.Errorf("lwfleetd: opening -state-dir: %w", err)
+		}
+		defer store.Close()
+		store.BeginRecovery()
+		journal = store
+		st := store.Status()
+		log.Printf("lwfleetd: state dir %s: replayed %d records to lsn %d (%d pods, %d slices, %d errors)",
+			cfg.stateDir, st.ReplayRecords, st.Log.LastLSN, st.FleetPods, st.FleetSlices, st.ReplayErrors)
+	}
+
+	m, injectable, err := buildFleet(cfg.pods, cfg.cubes, cfg.transceiver, reg, alerts, cfg.chaosOn, journal)
 	if err != nil {
 		return err
 	}
 	defer m.Close()
+	if store != nil {
+		if err := store.RecoverFleet(m); err != nil {
+			return fmt.Errorf("lwfleetd: restoring intents: %w", err)
+		}
+	}
 
-	lis, err := net.Listen("tcp", addr)
+	lis, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	log.Printf("lwfleetd: %d pods x %d cubes, %s modules, serving on %s",
-		pods, cubes, transceiver, lis.Addr())
+		cfg.pods, cfg.cubes, cfg.transceiver, lis.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if metricsAddr != "" {
-		mlis, err := reg.ServeMetrics(ctx, metricsAddr)
+	if cfg.metricsAddr != "" {
+		mlis, err := reg.ServeMetrics(ctx, cfg.metricsAddr)
 		if err != nil {
 			return err
 		}
@@ -225,23 +296,19 @@ func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch 
 	// ctl_requests_total / ctl_inflight / ctl_request_latency_seconds ride
 	// the same registry as the fleet metrics.
 	srv.SetMetrics(reg)
-	if teEpoch > 0 {
-		loop, err := startTE(ctx, m, teEpoch, teBlocks, teUplinks)
-		if err != nil {
-			return fmt.Errorf("starting te loop: %w", err)
-		}
-		srv.SetTE(ctlrpc.LoopTEProvider{L: loop})
-		log.Printf("lwfleetd: te loop on %d blocks x %d uplinks, epoch %s (pod \"dcn\")",
-			teBlocks, teUplinks, teEpoch)
+	if store != nil {
+		srv.SetWAL(ctlrpc.StoreWALProvider{Store: store})
 	}
-	if chaosOn {
+
+	var inj *chaos.Injector
+	if cfg.chaosOn {
 		// Fleet-plane faults only: pod-loss/-restore through the wrapped
 		// backends, drains through the manager, trunk impairments as
 		// injector bookkeeping. OCS outages need a fabric target and are
 		// rejected — the shared te fabric is driven by its own loop.
 		det := telemetry.NewDetector("chaos-ber", alerts)
 		det.HardLimit = chaos.KP4BERLimit
-		inj, err := chaos.NewInjector(chaos.Targets{
+		inj, err = chaos.NewInjector(chaos.Targets{
 			Fleet:    m,
 			Backends: injectable,
 			Detector: det,
@@ -252,18 +319,101 @@ func run(addr, metricsAddr string, pods, cubes int, transceiver string, teEpoch 
 		srv.SetChaos(ctlrpc.InjectorProvider{In: inj})
 		log.Printf("lwfleetd: fault injection enabled (%d injectable pods)", len(injectable))
 	}
-	if schedOn {
-		podNames := make([]string, pods)
+
+	var schedDone chan struct{}
+	if cfg.schedOn {
+		podNames := make([]string, cfg.pods)
 		for i := range podNames {
 			podNames[i] = fmt.Sprintf("pod%d", i)
 		}
-		s, err := startSched(ctx, m, podNames, cubes, schedTick)
+		runner, err := newSchedRunner(m, podNames, cfg.cubes, cfg.schedTick)
 		if err != nil {
 			return fmt.Errorf("starting sched loop: %w", err)
 		}
+		s := runner.Scheduler()
+		if store != nil {
+			// The scheduler is fresh: import the snapshot's state export,
+			// replay the journaled input tail, and only then start
+			// journaling new inputs.
+			applied, failed, err := store.RecoverSched(s)
+			if err != nil {
+				return fmt.Errorf("lwfleetd: restoring scheduler: %w", err)
+			}
+			if applied+failed > 0 {
+				log.Printf("lwfleetd: sched recovery: %d entries replayed, %d failed", applied, failed)
+			}
+			store.AttachSched(s)
+			s.SetJournal(store)
+		}
+		schedDone = make(chan struct{})
+		go func() {
+			defer close(schedDone)
+			if err := runner.Run(ctx); err != nil {
+				log.Printf("lwfleetd: sched loop stopped: %v", err)
+			}
+		}()
 		srv.SetSched(ctlrpc.SchedulerProvider{S: s})
 		log.Printf("lwfleetd: slice scheduler on %d pods (tick %s, policy %s)",
-			pods, schedTick, s.Policy())
+			cfg.pods, cfg.schedTick, s.Policy())
 	}
-	return srv.Serve(ctx, lis)
+
+	// Recovery is complete; journal everything from here on, including the
+	// TE loop's drains.
+	if store != nil {
+		store.EndRecovery()
+	}
+
+	var teDone chan struct{}
+	if cfg.teEpoch > 0 {
+		loop, done, err := startTE(ctx, m, cfg.teEpoch, cfg.teBlocks, cfg.teUplinks)
+		if err != nil {
+			return fmt.Errorf("starting te loop: %w", err)
+		}
+		teDone = done
+		srv.SetTE(ctlrpc.LoopTEProvider{L: loop})
+		log.Printf("lwfleetd: te loop on %d blocks x %d uplinks, epoch %s (pod \"dcn\")",
+			cfg.teBlocks, cfg.teUplinks, cfg.teEpoch)
+	}
+
+	if store != nil && cfg.stateSnapshotEvery > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.stateSnapshotEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := store.Checkpoint(); err != nil {
+						log.Printf("lwfleetd: periodic snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	serveErr := srv.Serve(ctx, lis)
+
+	// Shutdown ordering: cancel the run context, drain the sched and TE
+	// loops and the chaos lift timers so nothing mutates state
+	// mid-snapshot, then take the clean-shutdown snapshot. The manager and
+	// store close via the deferred calls after this returns.
+	stop()
+	if schedDone != nil {
+		<-schedDone
+	}
+	if teDone != nil {
+		<-teDone
+	}
+	if inj != nil {
+		inj.Close()
+	}
+	if store != nil {
+		if err := store.Checkpoint(); err != nil {
+			log.Printf("lwfleetd: shutdown snapshot: %v", err)
+		} else {
+			log.Printf("lwfleetd: shutdown snapshot at lsn %d", store.Log().LastLSN())
+		}
+	}
+	return serveErr
 }

@@ -18,7 +18,7 @@ import (
 
 func TestBuildFleet(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	m, injectable, err := buildFleet(4, 8, "2x200G-bidi-CWDM4", reg, nil, false)
+	m, injectable, err := buildFleet(4, 8, "2x200G-bidi-CWDM4", reg, nil, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestBuildFleet(t *testing.T) {
 // quarantine through the ordinary retry path.
 func TestBuildFleetChaos(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	m, injectable, err := buildFleet(2, 4, "2x200G-bidi-CWDM4", reg, nil, true)
+	m, injectable, err := buildFleet(2, 4, "2x200G-bidi-CWDM4", reg, nil, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,17 +106,17 @@ func TestBuildFleetChaos(t *testing.T) {
 
 func TestBuildFleetErrors(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	if _, _, err := buildFleet(0, 8, "2x200G-bidi-CWDM4", reg, nil, false); err == nil {
+	if _, _, err := buildFleet(0, 8, "2x200G-bidi-CWDM4", reg, nil, false, nil); err == nil {
 		t.Error("zero pods accepted")
 	}
-	if _, _, err := buildFleet(1, 8, "no-such-module", reg, nil, false); err == nil {
+	if _, _, err := buildFleet(1, 8, "no-such-module", reg, nil, false, nil); err == nil {
 		t.Error("unknown transceiver accepted")
 	}
 }
 
 func TestMetricsEndpoint(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	m, _, err := buildFleet(2, 4, "2x200G-bidi-CWDM4", reg, nil, false)
+	m, _, err := buildFleet(2, 4, "2x200G-bidi-CWDM4", reg, nil, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestSchedCountersOnMetrics(t *testing.T) {
 	sched.SetRegistry(reg)
 	defer sched.SetRegistry(nil)
 
-	m, _, err := buildFleet(2, 8, "2x200G-bidi-CWDM4", reg, nil, false)
+	m, _, err := buildFleet(2, 8, "2x200G-bidi-CWDM4", reg, nil, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,10 +198,12 @@ func TestSchedCountersOnMetrics(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	s, err := startSched(ctx, m, []string{"pod0", "pod1"}, 8, 2*time.Millisecond)
+	runner, err := newSchedRunner(m, []string{"pod0", "pod1"}, 8, 2*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
+	go runner.Run(ctx) //nolint:errcheck // loop exits with ctx
+	s := runner.Scheduler()
 	if s.Policy() != "reconfigurable" {
 		t.Fatalf("default policy = %q", s.Policy())
 	}

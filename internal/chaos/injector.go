@@ -45,6 +45,13 @@ type Injector struct {
 	mu sync.Mutex
 	t  Targets
 
+	// timers tracks pending ApplyLive lift timers so Close can stop them
+	// before the daemon tears down the targets underneath; lifts holds
+	// in-flight lift callbacks Close must wait out.
+	timers map[*time.Timer]struct{}
+	lifts  sync.WaitGroup
+	closed bool
+
 	// adminDown counts admin-removed trunks per block pair (a flap and a
 	// BER drain on the same pair stack).
 	adminDown map[[2]int]int
@@ -84,6 +91,7 @@ func NewInjector(t Targets) (*Injector, error) {
 		t:            t,
 		adminDown:    make(map[[2]int]int),
 		downSwitches: make(map[int]bool),
+		timers:       make(map[*time.Timer]struct{}),
 		cInjected:    reg.Counter("chaos_injected_total"),
 		cTrunkDown:   reg.Counter("chaos_trunk_faults_total"),
 		cBERDrains:   reg.Counter("chaos_ber_drains_total"),
@@ -117,17 +125,57 @@ func (in *Injector) Lift(ev Event) error {
 
 // ApplyLive injects the event now and, for bounded transients, schedules
 // the lift on a wall-clock timer DurationSeconds later — the mode the
-// daemons' chaos-inject RPC uses.
+// daemons' chaos-inject RPC uses. After Close the fault is still applied
+// but no lift is scheduled: the daemon is tearing down anyway.
 func (in *Injector) ApplyLive(ev Event) error {
 	if err := in.Apply(ev); err != nil {
 		return err
 	}
-	if ev.needsDuration() {
-		time.AfterFunc(time.Duration(ev.DurationSeconds*float64(time.Second)), func() {
-			in.Lift(ev) //nolint:errcheck // a failed lift leaves the fault armed; status shows it
-		})
+	if !ev.needsDuration() {
+		return nil
 	}
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil
+	}
+	in.lifts.Add(1)
+	var tm *time.Timer
+	tm = time.AfterFunc(time.Duration(ev.DurationSeconds*float64(time.Second)), func() {
+		defer in.lifts.Done()
+		in.mu.Lock()
+		closed := in.closed
+		delete(in.timers, tm)
+		in.mu.Unlock()
+		if closed {
+			return
+		}
+		in.Lift(ev) //nolint:errcheck // a failed lift leaves the fault armed; status shows it
+	})
+	in.timers[tm] = struct{}{}
+	in.mu.Unlock()
 	return nil
+}
+
+// Close stops pending lift timers and waits for in-flight lifts, after
+// which the injector no longer touches its targets — call it before
+// tearing down the fleet manager or fabric it actuates. Idempotent.
+func (in *Injector) Close() {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.closed = true
+	for tm := range in.timers {
+		if tm.Stop() {
+			// The callback will never run; settle its WaitGroup slot.
+			in.lifts.Done()
+		}
+		delete(in.timers, tm)
+	}
+	in.mu.Unlock()
+	in.lifts.Wait()
 }
 
 func (in *Injector) applyLocked(ev Event) error {

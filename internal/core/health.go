@@ -50,6 +50,12 @@ func (f *Fabric) CubeHealthy(c int) bool {
 	return c >= 0 && c < 64 && f.installed[c] && f.healthy[c]
 }
 
+// CubeInstalled reports whether a cube is physically installed,
+// regardless of health.
+func (f *Fabric) CubeInstalled(c int) bool {
+	return c >= 0 && c < 64 && f.installed[c]
+}
+
 // swapCube replaces failed cube old in the named slice with a healthy free
 // cube, touching only the circuits that involve the replaced position.
 func (f *Fabric) swapCube(name string, old int) (int, error) {

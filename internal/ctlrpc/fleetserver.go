@@ -22,6 +22,7 @@ type FleetServer struct {
 	te      TEStatusProvider
 	chaos   ChaosProvider
 	sched   SchedProvider
+	wal     WALProvider
 	metrics *ctlMetrics
 
 	// MaxRequestBytes caps one request line; 0 means
@@ -45,6 +46,10 @@ func (s *FleetServer) SetChaos(p ChaosProvider) { s.chaos = p }
 // SetSched attaches a slice-scheduler provider. Call before Serve; a nil
 // provider reports the scheduler disabled and rejects sched-submit.
 func (s *FleetServer) SetSched(p SchedProvider) { s.sched = p }
+
+// SetWAL attaches a durable-state status provider. Call before Serve; a
+// nil provider reports the WAL as disabled.
+func (s *FleetServer) SetWAL(p WALProvider) { s.wal = p }
 
 // SetMetrics exposes ctl_requests_total / ctl_inflight /
 // ctl_request_latency_seconds on the registry. Call before Serve.
@@ -197,6 +202,9 @@ func (s *FleetServer) call(method string, params json.RawMessage) (any, error) {
 
 	case MethodSchedStatus, MethodSchedSubmit:
 		return schedCall(s.sched, method, func(v any) error { return json.Unmarshal(params, v) })
+
+	case MethodWALStatus:
+		return walCall(s.wal)
 
 	default:
 		return nil, fmt.Errorf("unknown method %q", method)

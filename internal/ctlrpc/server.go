@@ -24,6 +24,8 @@ type Server struct {
 	fabric  *core.Fabric
 	te      TEStatusProvider
 	chaos   ChaosProvider
+	wal     WALProvider
+	journal Journal
 	metrics *ctlMetrics
 
 	// gen counts fabric mutations; statusCache holds the marshaled status
@@ -55,6 +57,16 @@ func (s *Server) SetTE(p TEStatusProvider) { s.te = p }
 // SetChaos attaches a fault-injection provider. Call before Serve; a nil
 // provider reports chaos as disabled and rejects chaos-inject.
 func (s *Server) SetChaos(p ChaosProvider) { s.chaos = p }
+
+// SetWAL attaches a durable-state status provider. Call before Serve; a
+// nil provider reports the WAL as disabled.
+func (s *Server) SetWAL(p WALProvider) { s.wal = p }
+
+// SetJournal attaches a command journal: every mutating fabric method the
+// server executes successfully is journaled before its response is
+// written. Call before Serve (and after replaying recovered commands); a
+// nil journal disables command journaling.
+func (s *Server) SetJournal(j Journal) { s.journal = j }
 
 // SetMetrics exposes ctl_requests_total / ctl_inflight /
 // ctl_request_latency_seconds on the registry. Call before Serve.
@@ -110,7 +122,13 @@ type fabricHandler struct {
 	// off the reader even though they are read-only: a slow provider must
 	// stall one worker, never request decoding.
 	inline bool
-	fn     func(*Server, json.RawMessage) (any, error)
+	// journal marks fabric mutations that must be durable before their
+	// response: on success the dispatch hands method+params to the
+	// attached Journal. Telemetry feeds (observe-ber) and provider
+	// methods (chaos-inject) are not journaled — they are not fabric
+	// state.
+	journal bool
+	fn      func(*Server, json.RawMessage) (any, error)
 }
 
 // fabricHandlers classifies every fabric method. Read-only methods must
@@ -123,15 +141,16 @@ var fabricHandlers = map[string]fabricHandler{
 	MethodMetrics:     {readOnly: true, inline: true, fn: (*Server).handleMetrics},
 	MethodTEStatus:    {readOnly: true, fn: (*Server).handleTEStatus},
 	MethodChaosStatus: {readOnly: true, fn: chaosHandler(MethodChaosStatus)},
+	MethodWALStatus:   {readOnly: true, fn: (*Server).handleWALStatus},
 
-	MethodCompose:     {fn: (*Server).handleCompose},
-	MethodDestroy:     {fn: (*Server).handleDestroy},
-	MethodEnsure:      {fn: (*Server).handleEnsure},
-	MethodReshape:     {fn: (*Server).handleReshape},
-	MethodFailCube:    {fn: (*Server).handleFailCube},
-	MethodRepairCube:  {fn: (*Server).handleRepairCube},
-	MethodInstallCube: {fn: (*Server).handleInstallCube},
-	MethodRepairLink:  {fn: (*Server).handleRepairLink},
+	MethodCompose:     {journal: true, fn: (*Server).handleCompose},
+	MethodDestroy:     {journal: true, fn: (*Server).handleDestroy},
+	MethodEnsure:      {journal: true, fn: (*Server).handleEnsure},
+	MethodReshape:     {journal: true, fn: (*Server).handleReshape},
+	MethodFailCube:    {journal: true, fn: (*Server).handleFailCube},
+	MethodRepairCube:  {journal: true, fn: (*Server).handleRepairCube},
+	MethodInstallCube: {journal: true, fn: (*Server).handleInstallCube},
+	MethodRepairLink:  {journal: true, fn: (*Server).handleRepairLink},
 	MethodObserveBER:  {fn: (*Server).handleObserveBER},
 	MethodChaosInject: {fn: chaosHandler(MethodChaosInject)},
 }
@@ -158,7 +177,35 @@ func (s *Server) dispatch(req Request) Response {
 	defer s.mu.Unlock()
 	s.gen.Add(1) // any mutation invalidates the status cache
 	result, err := h.fn(s, req.Params)
+	if err == nil && h.journal && s.journal != nil {
+		// Journal after success, before the response: the fabric state
+		// already changed, so a journal failure is surfaced as the call's
+		// error — the client retries and the command is re-journaled
+		// (handlers are idempotent or fail cleanly on re-execution).
+		if jerr := s.journal.JournalCommand(req.Method, req.Params); jerr != nil {
+			return marshalResponse(req.ID, nil, fmt.Errorf("journal: %w", jerr))
+		}
+	}
 	return marshalResponse(req.ID, result, err)
+}
+
+// ApplyCommand re-executes one journaled command during recovery replay,
+// before the server starts serving. It accepts only journaled mutating
+// methods.
+func (s *Server) ApplyCommand(method string, params json.RawMessage) error {
+	h, ok := fabricHandlers[method]
+	if !ok || !h.journal {
+		return fmt.Errorf("ctlrpc: method %q is not replayable", method)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen.Add(1)
+	_, err := h.fn(s, params)
+	return err
+}
+
+func (s *Server) handleWALStatus(json.RawMessage) (any, error) {
+	return walCall(s.wal)
 }
 
 // tryInline executes read-only, provider-free methods on the connection

@@ -1,0 +1,141 @@
+package ctlrpc
+
+import (
+	"encoding/json"
+
+	"lightwave/internal/wal"
+)
+
+// MethodWALStatus reports the daemon's durable-state subsystem.
+const MethodWALStatus = "wal-status"
+
+// WALStatusResult snapshots a daemon's WAL. Enabled is false when the
+// daemon runs without -state-dir; the remaining fields then carry zero
+// values.
+type WALStatusResult struct {
+	Enabled         bool   `json:"enabled"`
+	Dir             string `json:"dir,omitempty"`
+	LastLSN         uint64 `json:"lastLSN"`
+	SnapshotLSN     uint64 `json:"snapshotLSN"`
+	Segments        int    `json:"segments"`
+	TotalBytes      int64  `json:"totalBytes"`
+	Appends         int64  `json:"appends"`
+	AppendBytes     int64  `json:"appendBytes"`
+	Fsyncs          int64  `json:"fsyncs"`
+	Snapshots       int64  `json:"snapshots"`
+	Compactions     int64  `json:"compactions"`
+	ReplayRecords   int    `json:"replayRecords"`
+	ReplayErrors    int    `json:"replayErrors"`
+	TruncatedBytes  int64  `json:"truncatedBytes"`
+	DroppedSegments int    `json:"droppedSegments"`
+	FleetPods       int    `json:"fleetPods"`
+	FleetSlices     int    `json:"fleetSlices"`
+	FleetDigest     string `json:"fleetDigest,omitempty"`
+}
+
+// WALProvider supplies the wal-status method. Implementations must be
+// safe for concurrent use.
+type WALProvider interface {
+	WALStatus() WALStatusResult
+}
+
+// Journal is the server-side command journal seam: the per-fabric server
+// hands every successfully executed mutating command to it before the
+// response is written, so the command is durable before the client sees
+// success. Implementations must be safe for concurrent use and must copy
+// params if they retain them past the call.
+type Journal interface {
+	JournalCommand(method string, params json.RawMessage) error
+}
+
+// StoreWALProvider adapts a wal.Store to WALProvider.
+type StoreWALProvider struct {
+	Store *wal.Store
+}
+
+// WALStatus implements WALProvider.
+func (p StoreWALProvider) WALStatus() WALStatusResult {
+	st := p.Store.Status()
+	return WALStatusResult{
+		Enabled:         true,
+		Dir:             st.Log.Dir,
+		LastLSN:         st.Log.LastLSN,
+		SnapshotLSN:     st.Log.SnapshotLSN,
+		Segments:        st.Log.Segments,
+		TotalBytes:      st.Log.TotalBytes,
+		Appends:         st.Log.Appends,
+		AppendBytes:     st.Log.AppendBytes,
+		Fsyncs:          st.Log.Fsyncs,
+		Snapshots:       st.Log.Snapshots,
+		Compactions:     st.Log.Compactions,
+		ReplayRecords:   st.ReplayRecords,
+		ReplayErrors:    st.ReplayErrors,
+		TruncatedBytes:  st.TruncatedBytes,
+		DroppedSegments: st.DroppedSegments,
+		FleetPods:       st.FleetPods,
+		FleetSlices:     st.FleetSlices,
+		FleetDigest:     st.FleetDigest,
+	}
+}
+
+// SnapshotCommands captures the fabric's current state as a replayable
+// command list: install-cube for every cube installed beyond the boot
+// config's first bootCubes, ensure for every composed slice (explicit
+// cube lists, so replay reproduces placement exactly), then fail-cube
+// for every installed-but-unhealthy cube. Replaying the list through
+// ApplyCommand on a freshly built fabric reproduces the state. The
+// capture takes the server's read lock so it never interleaves with a
+// mutating RPC.
+func (s *Server) SnapshotCommands(bootCubes int) ([]wal.Command, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var cmds []wal.Command
+	add := func(method string, params any) error {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return err
+		}
+		cmds = append(cmds, wal.Command{Method: method, Params: b})
+		return nil
+	}
+	for c := bootCubes; c < 64; c++ {
+		if s.fabric.CubeInstalled(c) {
+			if err := add(MethodInstallCube, CubeParams{Cube: c}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, sl := range s.fabric.Slices() {
+		if err := add(MethodEnsure, EnsureParams{
+			Name:  sl.Name,
+			Shape: [3]int{sl.Shape.X, sl.Shape.Y, sl.Shape.Z},
+			Cubes: append([]int(nil), sl.Cubes...),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for c := 0; c < 64; c++ {
+		if s.fabric.CubeInstalled(c) && !s.fabric.CubeHealthy(c) {
+			if err := add(MethodFailCube, CubeParams{Cube: c}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cmds, nil
+}
+
+// walCall dispatches wal-status against an optional provider; a nil
+// provider reports the WAL disabled.
+func walCall(p WALProvider) (any, error) {
+	if p == nil {
+		return WALStatusResult{}, nil
+	}
+	return p.WALStatus(), nil
+}
+
+// WALStatus reports the daemon's durable-state subsystem.
+func (c *Client) WALStatus() (WALStatusResult, error) {
+	var out WALStatusResult
+	err := c.call(MethodWALStatus, nil, &out)
+	return out, err
+}

@@ -76,7 +76,7 @@ func init() {
 		MethodObserveBER, MethodReshape, MethodMetrics, MethodRepairLink,
 		MethodTEStatus, MethodChaosInject, MethodChaosStatus,
 		MethodFleetStatus, MethodApplyIntent, MethodDrain, MethodUndrain,
-		MethodWatch, MethodSchedStatus, MethodSchedSubmit,
+		MethodWatch, MethodSchedStatus, MethodSchedSubmit, MethodWALStatus,
 	} {
 		internedMethods[m] = m
 	}

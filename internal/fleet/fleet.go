@@ -54,6 +54,10 @@ type Options struct {
 	QuarantineAfter int
 	// Seed perturbs the per-pod jitter RNGs.
 	Seed uint64
+	// Journal, when set, receives every intent-store mutation before it
+	// is applied plus quarantine/recovery decisions (see journal.go).
+	// Nil disables journaling.
+	Journal Journal
 }
 
 // Errors returned by the manager.
@@ -94,6 +98,7 @@ type pod struct {
 	name    string
 	backend Backend
 	kick    chan struct{} // cap 1: pending-work signal
+	stop    chan struct{} // closed by RemovePod to retire the worker
 
 	desired      map[string]SliceIntent
 	pendingReady map[string]bool // slices awaiting a converged event
@@ -160,11 +165,15 @@ func (m *Manager) AddPod(name string, b Backend) error {
 	if _, ok := m.pods[name]; ok {
 		return fmt.Errorf("%w: %q", ErrPodExists, name)
 	}
+	if err := m.journalLocked(JournalEntry{Op: OpAddPod, Pod: name}); err != nil {
+		return err
+	}
 	reg := m.opts.Metrics
 	p := &pod{
 		name:         name,
 		backend:      b,
 		kick:         make(chan struct{}, 1),
+		stop:         make(chan struct{}),
 		desired:      make(map[string]SliceIntent),
 		pendingReady: make(map[string]bool),
 		pendingGone:  make(map[string]bool),
@@ -180,6 +189,31 @@ func (m *Manager) AddPod(name string, b Backend) error {
 	rngSeed := m.opts.Seed ^ h.Sum64()
 	m.wg.Add(1)
 	go m.worker(p, rngSeed)
+	return nil
+}
+
+// RemovePod retires a pod: its worker stops, its intents are dropped, and
+// further calls naming it return ErrNoPod. The backend is left exactly as
+// the last reconcile pass left it — decommissioning hardware is the
+// operator's problem, not the intent store's.
+func (m *Manager) RemovePod(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	p, err := m.podLocked(name)
+	if err != nil {
+		return err
+	}
+	if err := m.journalLocked(JournalEntry{Op: OpRemovePod, Pod: name}); err != nil {
+		return err
+	}
+	delete(m.pods, name)
+	close(p.stop)
+	m.emitLocked(Event{Pod: name, Type: EventPodRemoved})
+	m.queueDepth.Set(float64(m.dirtyLocked()))
+	m.quarantinedPods.Set(float64(m.quarantinedLocked()))
 	return nil
 }
 
@@ -263,6 +297,9 @@ func (m *Manager) SetSliceIntent(podName string, in SliceIntent) error {
 	if err != nil {
 		return err
 	}
+	if err := m.journalLocked(JournalEntry{Op: OpSetSlice, Pod: podName, Slice: &in}); err != nil {
+		return err
+	}
 	p.desired[in.Name] = in
 	p.pendingReady[in.Name] = true
 	delete(p.pendingGone, in.Name)
@@ -283,6 +320,9 @@ func (m *Manager) RemoveSliceIntent(podName, slice string) error {
 	}
 	if _, ok := p.desired[slice]; !ok {
 		return nil
+	}
+	if err := m.journalLocked(JournalEntry{Op: OpRemoveSlice, Pod: podName, Name: slice}); err != nil {
+		return err
 	}
 	delete(p.desired, slice)
 	delete(p.pendingReady, slice)
@@ -310,6 +350,16 @@ func (m *Manager) ReplaceIntent(podName string, ins []SliceIntent) error {
 	p, err := m.podLocked(podName)
 	if err != nil {
 		return err
+	}
+	if m.opts.Journal != nil {
+		ent := JournalEntry{Op: OpReplace, Pod: podName, Slices: make([]SliceIntent, 0, len(ins))}
+		for _, in := range next {
+			ent.Slices = append(ent.Slices, in)
+		}
+		sort.Slice(ent.Slices, func(i, j int) bool { return ent.Slices[i].Name < ent.Slices[j].Name })
+		if err := m.journalLocked(ent); err != nil {
+			return err
+		}
 	}
 	for name := range p.desired {
 		if _, keep := next[name]; !keep {
@@ -340,6 +390,9 @@ func (m *Manager) DrainPod(podName string) error {
 	if p.drained {
 		return nil
 	}
+	if err := m.journalLocked(JournalEntry{Op: OpDrainPod, Pod: podName}); err != nil {
+		return err
+	}
 	p.drained = true
 	m.emitLocked(Event{Pod: podName, Type: EventDrained})
 	m.markDirtyLocked(p)
@@ -353,6 +406,9 @@ func (m *Manager) UndrainPod(podName string) error {
 	defer m.mu.Unlock()
 	p, err := m.podLocked(podName)
 	if err != nil {
+		return err
+	}
+	if err := m.journalLocked(JournalEntry{Op: OpUndrainPod, Pod: podName}); err != nil {
 		return err
 	}
 	wasQuarantined := p.quarantined
@@ -400,6 +456,9 @@ func (m *Manager) DrainOCS(podName string, ocsID int) error {
 	if err != nil {
 		return err
 	}
+	if err := m.journalLocked(JournalEntry{Op: OpDrainOCS, Pod: podName, OCS: ocsID}); err != nil {
+		return err
+	}
 	p.drainedOCS[ocsID] = true
 	m.emitLocked(Event{Pod: podName, Type: EventDrained, Detail: fmt.Sprintf("ocs %d", ocsID)})
 	m.markDirtyLocked(p)
@@ -412,6 +471,9 @@ func (m *Manager) UndrainOCS(podName string, ocsID int) error {
 	defer m.mu.Unlock()
 	p, err := m.podLocked(podName)
 	if err != nil {
+		return err
+	}
+	if err := m.journalLocked(JournalEntry{Op: OpUndrainOCS, Pod: podName, OCS: ocsID}); err != nil {
 		return err
 	}
 	delete(p.drainedOCS, ocsID)

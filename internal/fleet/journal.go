@@ -1,0 +1,63 @@
+package fleet
+
+// The fleet journal seam. A Manager configured with a Journal writes every
+// intent-store mutation ahead of applying it (a journal failure rejects the
+// mutation, so durable state never lags accepted state), plus observability
+// records for quarantine/recovery decisions the reconcilers make on their
+// own. Replay rebuilds the intent store only — recovery restores intent,
+// reconciliation restores reality — so quarantine records are informational
+// on replay: a restarted manager re-probes its backends and re-derives
+// health rather than trusting a pre-crash verdict.
+
+// JournalOp identifies a fleet journal entry.
+type JournalOp string
+
+// Fleet journal operations.
+const (
+	OpAddPod      JournalOp = "add-pod"
+	OpRemovePod   JournalOp = "remove-pod"
+	OpSetSlice    JournalOp = "set-slice"
+	OpRemoveSlice JournalOp = "remove-slice"
+	OpReplace     JournalOp = "replace"
+	OpDrainPod    JournalOp = "drain-pod"
+	OpUndrainPod  JournalOp = "undrain-pod"
+	OpDrainOCS    JournalOp = "drain-ocs"
+	OpUndrainOCS  JournalOp = "undrain-ocs"
+	OpQuarantine  JournalOp = "quarantine"
+	OpRecover     JournalOp = "recover"
+)
+
+// JournalEntry is one fleet journal record. Fields beyond Op and Pod are
+// op-specific: Slice for set-slice, Name for remove-slice, Slices for
+// replace, OCS for the OCS drains.
+type JournalEntry struct {
+	Op     JournalOp     `json:"op"`
+	Pod    string        `json:"pod"`
+	Slice  *SliceIntent  `json:"slice,omitempty"`
+	Name   string        `json:"name,omitempty"`
+	Slices []SliceIntent `json:"slices,omitempty"`
+	OCS    int           `json:"ocs,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// Journal receives fleet journal entries; implementations must be safe for
+// concurrent use and are called with the Manager's lock held, so they must
+// not call back into the Manager.
+type Journal interface {
+	JournalFleet(e JournalEntry) error
+}
+
+// journalLocked writes one entry through the configured journal.
+func (m *Manager) journalLocked(e JournalEntry) error {
+	if m.opts.Journal == nil {
+		return nil
+	}
+	return m.opts.Journal.JournalFleet(e)
+}
+
+// journalDerivedLocked records reconciler-derived state (quarantine and
+// recovery edges). These are not intent: a journal failure must not wedge
+// the reconcile loop, so errors are dropped.
+func (m *Manager) journalDerivedLocked(e JournalEntry) {
+	_ = m.journalLocked(e)
+}

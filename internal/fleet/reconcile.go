@@ -27,6 +27,8 @@ func (m *Manager) worker(p *pod, rngSeed uint64) {
 		select {
 		case <-m.done:
 			return
+		case <-p.stop:
+			return
 		case <-p.kick:
 		}
 		for {
@@ -74,6 +76,8 @@ func (m *Manager) worker(p *pod, rngSeed uint64) {
 			backoff = min(2*backoff, m.opts.MaxBackoff)
 			select {
 			case <-m.done:
+				return
+			case <-p.stop:
 				return
 			case <-time.After(d):
 			}
@@ -128,6 +132,7 @@ func (m *Manager) finishPass(p *pod, gen uint64, res reconcileResult, drained bo
 		// from an ordinary convergence so operators (and internal/chaos's
 		// MTTR accounting) can see faults close out.
 		p.recovering = false
+		m.journalDerivedLocked(JournalEntry{Op: OpRecover, Pod: p.name, Detail: detail})
 		m.emitLocked(Event{Pod: p.name, Type: EventRecovered, Detail: detail})
 	}
 	m.emitLocked(Event{Pod: p.name, Type: EventConverged, Detail: detail})
@@ -148,6 +153,7 @@ func (m *Manager) recordFailure(p *pod, err error) bool {
 		return false
 	}
 	p.quarantined = true
+	m.journalDerivedLocked(JournalEntry{Op: OpQuarantine, Pod: p.name, Detail: err.Error()})
 	m.quarantines.Inc()
 	m.quarantinedPods.Set(float64(m.quarantinedLocked()))
 	m.emitLocked(Event{Pod: p.name, Type: EventQuarantined, Detail: err.Error()})

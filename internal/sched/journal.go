@@ -1,0 +1,98 @@
+package sched
+
+// The scheduler journal seam. Unlike the fleet intent store — whose
+// journal records *state* — the scheduler journals its *inputs* (submit,
+// advance, fail, repair, pod-down): the scheduler is deterministic given
+// its input sequence, so command-sourcing replays to the exact pre-crash
+// placement state, ids included. Snapshots break the replay chain with a
+// full state export (see state.go); WALLSN in the export tells replay
+// which journaled inputs the snapshot already includes.
+//
+// Replay equivalence assumes ClusterOps errors repeat (normally: none) —
+// a placement the cluster rejected live is rolled back in the mirror, so
+// a replay where the same ensure succeeds would diverge. Recovery
+// tolerates this: the fleet reconcilers converge the fabric to whatever
+// the replayed scheduler believes, which is the recovery-restores-intent
+// contract.
+
+// JournalOp identifies a scheduler journal entry.
+type JournalOp string
+
+// Scheduler journal operations.
+const (
+	OpSubmit     JournalOp = "submit"
+	OpAdvance    JournalOp = "advance"
+	OpFailCube   JournalOp = "fail-cube"
+	OpRepairCube JournalOp = "repair-cube"
+	OpPodDown    JournalOp = "pod-down"
+	OpMeasure    JournalOp = "start-measurement"
+)
+
+// JournalEntry is one scheduler input. Fields beyond Op are op-specific.
+type JournalEntry struct {
+	Op   JournalOp `json:"op"`
+	Spec *JobSpec  `json:"spec,omitempty"`
+	T    float64   `json:"t,omitempty"`
+	Pod  string    `json:"pod,omitempty"`
+	Cube int       `json:"cube,omitempty"`
+	Down bool      `json:"down,omitempty"`
+}
+
+// Journal receives scheduler journal entries and returns the log sequence
+// number each was assigned, so state exports can record how much of the
+// log they cover. Implementations must be safe for concurrent use and are
+// called with the scheduler's lock held, so they must not call back into
+// the Scheduler.
+type Journal interface {
+	JournalSched(e JournalEntry) (uint64, error)
+}
+
+// SetJournal attaches a journal. Attach after recovery replay and before
+// live traffic; a nil journal disables journaling.
+func (s *Scheduler) SetJournal(j Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+// journalLocked writes one input record ahead of applying it; a journal
+// failure rejects the input so durable state never lags accepted state.
+func (s *Scheduler) journalLocked(e JournalEntry) error {
+	if s.journal == nil {
+		return nil
+	}
+	lsn, err := s.journal.JournalSched(e)
+	if err != nil {
+		return err
+	}
+	if lsn > s.walLSN {
+		s.walLSN = lsn
+	}
+	return nil
+}
+
+// Apply replays one journal entry. It is the recovery path's dispatcher;
+// the entry is re-executed through the ordinary mutators, so placement and
+// id assignment repeat exactly.
+func (s *Scheduler) Apply(e JournalEntry) error {
+	switch e.Op {
+	case OpSubmit:
+		if e.Spec == nil {
+			return nil
+		}
+		_, _, err := s.Submit(*e.Spec)
+		return err
+	case OpAdvance:
+		return s.AdvanceTo(e.T)
+	case OpFailCube:
+		return s.FailCube(e.Pod, e.Cube)
+	case OpRepairCube:
+		return s.RepairCube(e.Pod, e.Cube)
+	case OpPodDown:
+		return s.SetPodDown(e.Pod, e.Down)
+	case OpMeasure:
+		s.StartMeasurement()
+		return nil
+	}
+	return nil
+}

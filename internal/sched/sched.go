@@ -109,6 +109,10 @@ func (p *Pod) allocate(cubes []int, job int) error {
 	return nil
 }
 
+// Occupy marks the given cubes busy for a job — state import uses it to
+// rebuild a mirror from a snapshot. Every cube must be free.
+func (p *Pod) Occupy(job int, cubes []int) error { return p.allocate(cubes, job) }
+
 // Release frees every cube owned by job and returns them.
 func (p *Pod) Release(job int) []int {
 	var freed []int

@@ -161,6 +161,9 @@ type Scheduler struct {
 	pods   []*schedPod // sorted by name
 	byName map[string]*schedPod
 
+	journal Journal
+	walLSN  uint64 // highest LSN journaled; exports record it
+
 	queue   []*queuedJob
 	running map[int]*runningJob
 	done    completionHeap
@@ -332,6 +335,9 @@ func (s *Scheduler) Submit(spec JobSpec) (int, bool, error) {
 		// once the backfill window fills behind it; reject it up front.
 		return 0, false, fmt.Errorf("sched: job wants %d cubes, pods install %d", spec.Cubes, s.maxJob)
 	}
+	if err := s.journalLocked(JournalEntry{Op: OpSubmit, Spec: &spec}); err != nil {
+		return 0, false, err
+	}
 	id := s.nextID
 	s.nextID++
 	s.submitted++
@@ -351,6 +357,13 @@ func (s *Scheduler) AdvanceTo(t float64) error {
 	defer s.mu.Unlock()
 	if t < s.now {
 		return fmt.Errorf("%w: %.3f < %.3f", ErrTimeWarp, t, s.now)
+	}
+	// A same-time tick with an empty queue cannot change state; skip the
+	// journal write so idle daemon ticks do not grow the log.
+	if t > s.now || len(s.queue) > 0 {
+		if err := s.journalLocked(JournalEntry{Op: OpAdvance, T: t}); err != nil {
+			return err
+		}
 	}
 	var firstErr error
 	for len(s.done) > 0 && s.done[0].end <= t {
@@ -514,6 +527,9 @@ func (s *Scheduler) FailCube(pod string, cube int) error {
 	if sp.mirror.State(cube) == Failed {
 		return nil
 	}
+	if err := s.journalLocked(JournalEntry{Op: OpFailCube, Pod: pod, Cube: cube}); err != nil {
+		return err
+	}
 	s.accrueTo(s.now)
 	job, wasBusy, err := sp.mirror.Fail(cube)
 	if err != nil {
@@ -561,6 +577,9 @@ func (s *Scheduler) RepairCube(pod string, cube int) error {
 	if sp.mirror.State(cube) != Failed {
 		return nil
 	}
+	if err := s.journalLocked(JournalEntry{Op: OpRepairCube, Pod: pod, Cube: cube}); err != nil {
+		return err
+	}
 	s.accrueTo(s.now)
 	if err := sp.mirror.Repair(cube); err != nil {
 		return err
@@ -585,6 +604,9 @@ func (s *Scheduler) SetPodDown(pod string, down bool) error {
 	}
 	if sp.down == down {
 		return nil
+	}
+	if err := s.journalLocked(JournalEntry{Op: OpPodDown, Pod: pod, Down: down}); err != nil {
+		return err
 	}
 	s.accrueTo(s.now)
 	sp.down = down
@@ -628,6 +650,9 @@ func (s *Scheduler) CubeState(pod string, cube int) (CubeState, error) {
 func (s *Scheduler) StartMeasurement() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Best-effort journal: a measurement reset is observability state, not
+	// placement state, so a journal failure must not block it.
+	_ = s.journalLocked(JournalEntry{Op: OpMeasure})
 	s.accrueTo(s.now)
 	s.busyIntegral = 0
 	s.availIntegral = 0

@@ -127,7 +127,16 @@ func (r *Runner) sample() sched.JobSpec {
 // tick advances one virtual window, submitting the arrivals that fall in
 // it.
 func (r *Runner) tick() error {
-	target := r.s.Now() + r.cfg.VirtualPerTick
+	now := r.s.Now()
+	// After crash recovery the scheduler's virtual clock resumes where the
+	// journal left it, ahead of this runner's freshly seeded arrival clock.
+	// Re-anchor the next arrival to the recovered clock instead of
+	// retroactively submitting the downtime gap (which would also trip
+	// AdvanceTo's monotonicity check and kill the loop).
+	if r.nextA < now {
+		r.nextA = now + r.rng.ExpFloat64()/r.cfg.Mix.ArrivalRate
+	}
+	target := now + r.cfg.VirtualPerTick
 	for r.nextA < target {
 		if err := r.s.AdvanceTo(r.nextA); err != nil {
 			return err

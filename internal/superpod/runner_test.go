@@ -78,6 +78,64 @@ func TestRunnerTrimsMixToInstalledCubes(t *testing.T) {
 	}
 }
 
+// TestRunnerResumesRecoveredClock is the crash-recovery regression: after
+// RecoverSched replays the journal, the scheduler's virtual clock resumes
+// far ahead of the runner's freshly seeded arrival clock. The first tick
+// must re-anchor the arrival stream instead of calling AdvanceTo backwards
+// and killing the loop.
+func TestRunnerResumesRecoveredClock(t *testing.T) {
+	mgr := fleet.NewManager(fleet.Options{
+		BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
+	})
+	defer mgr.Close()
+	f, err := core.New(core.DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.AddPod("pod0", fleet.NewFabricBackend(f, nil)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(RunnerConfig{
+		Manager:        mgr,
+		Pods:           []string{"pod0"},
+		InstalledCubes: 8,
+		Mix: sched.JobMix{
+			Sizes: []int{1, 2}, Weights: []float64{0.7, 0.3},
+			MeanDuration: 200, ArrivalRate: 0.1,
+		},
+		Interval:       time.Millisecond,
+		VirtualPerTick: 60,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a journal replay leaving the clock at virtual t=4800s.
+	if err := r.Scheduler().AdvanceTo(4800); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+	deadline := time.After(10 * time.Second)
+	for r.Scheduler().Stats().Submitted < 5 {
+		select {
+		case err := <-done:
+			t.Fatalf("runner died on the recovered clock: %v", err)
+		case <-deadline:
+			t.Fatalf("no submissions after recovery: %+v", r.Scheduler().Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if now := r.Scheduler().Now(); now < 4800 {
+		t.Fatalf("clock went backwards: %v", now)
+	}
+}
+
 func TestRunnerTicksAgainstFleet(t *testing.T) {
 	mgr := fleet.NewManager(fleet.Options{
 		BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,

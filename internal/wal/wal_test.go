@@ -1,0 +1,298 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// openT opens a log in dir, failing the test on error.
+func openT(t *testing.T, dir string, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, rec
+}
+
+func appendT(t *testing.T, l *Log, typ RecordType, payload []byte) uint64 {
+	t.Helper()
+	lsn, err := l.Append(typ, payload)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return lsn
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openT(t, dir, Options{})
+	if len(rec.Records) != 0 || rec.SnapshotState != nil {
+		t.Fatalf("fresh dir recovered %d records, snapshot %v", len(rec.Records), rec.SnapshotState)
+	}
+
+	var want []Record
+	for i := 0; i < 20; i++ {
+		typ := RecordType(i%3 + 1)
+		payload := []byte(fmt.Sprintf("record-%d", i))
+		lsn := appendT(t, l, typ, payload)
+		if lsn != uint64(i+1) {
+			t.Fatalf("record %d got lsn %d", i, lsn)
+		}
+		want = append(want, Record{LSN: lsn, Type: typ, Payload: payload})
+	}
+	if got := l.LastLSN(); got != 20 {
+		t.Fatalf("LastLSN = %d", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2 := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(rec2.Records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(rec2.Records), len(want))
+	}
+	for i, r := range rec2.Records {
+		w := want[i]
+		if r.LSN != w.LSN || r.Type != w.Type || !bytes.Equal(r.Payload, w.Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, w)
+		}
+	}
+	// The reopened log appends at the next LSN.
+	if lsn := appendT(t, l2, RecordFleet, []byte("after")); lsn != 21 {
+		t.Fatalf("post-reopen lsn = %d", lsn)
+	}
+}
+
+func TestRotationKeepsEveryRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{SegmentBytes: 128, NoSync: true})
+	const n = 100
+	for i := 0; i < n; i++ {
+		appendT(t, l, RecordSched, []byte(fmt.Sprintf("rotating-%03d", i)))
+	}
+	st := l.Status()
+	if st.Segments < 3 {
+		t.Fatalf("expected multiple segments, got %d", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir, Options{SegmentBytes: 128, NoSync: true})
+	defer l2.Close()
+	if len(rec.Records) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(rec.Records), n)
+	}
+	for i, r := range rec.Records {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has lsn %d", i, r.LSN)
+		}
+	}
+}
+
+// memSnapshotter snapshots a fixed state covering a fixed LSN.
+type memSnapshotter struct {
+	state   []byte
+	covered uint64
+}
+
+func (s memSnapshotter) Snapshot() ([]byte, uint64, error) { return s.state, s.covered, nil }
+
+func TestCheckpointCompactsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{SegmentBytes: 128, NoSync: true})
+	for i := 0; i < 60; i++ {
+		appendT(t, l, RecordFleet, []byte(fmt.Sprintf("pre-snap-%03d", i)))
+	}
+	before := l.Status()
+	if before.Segments < 2 {
+		t.Fatalf("need multiple segments to compact, got %d", before.Segments)
+	}
+	if err := l.Checkpoint(memSnapshotter{state: []byte("state@60"), covered: 60}); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Status()
+	if after.Segments >= before.Segments {
+		t.Fatalf("compaction kept %d segments (was %d)", after.Segments, before.Segments)
+	}
+	if after.SnapshotLSN != 60 {
+		t.Fatalf("snapshot lsn = %d", after.SnapshotLSN)
+	}
+	// Records after the snapshot replay on top of it.
+	for i := 0; i < 5; i++ {
+		appendT(t, l, RecordFleet, []byte(fmt.Sprintf("post-snap-%d", i)))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir, Options{SegmentBytes: 128, NoSync: true})
+	defer l2.Close()
+	if string(rec.SnapshotState) != "state@60" {
+		t.Fatalf("snapshot state = %q", rec.SnapshotState)
+	}
+	if rec.SnapshotLSN != 60 {
+		t.Fatalf("snapshot lsn = %d", rec.SnapshotLSN)
+	}
+	tail := 0
+	for _, r := range rec.Records {
+		if r.LSN > rec.SnapshotLSN {
+			tail++
+		}
+	}
+	if tail != 5 {
+		t.Fatalf("replayed %d tail records, want 5", tail)
+	}
+	if lsn := appendT(t, l2, RecordFleet, []byte("alive")); lsn != 66 {
+		t.Fatalf("post-recovery lsn = %d", lsn)
+	}
+}
+
+// TestCheckpointFullyCompacted covers the everything-covered case: all
+// segments but the active one go away and a fresh open positions the
+// sequence from the snapshot alone.
+func TestCheckpointFullyCompacted(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{SegmentBytes: 64, NoSync: true})
+	for i := 0; i < 30; i++ {
+		appendT(t, l, RecordCommand, []byte(fmt.Sprintf("cmd-%02d", i)))
+	}
+	if err := l.Checkpoint(memSnapshotter{state: []byte("all"), covered: l.LastLSN()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir, Options{NoSync: true})
+	defer l2.Close()
+	for _, r := range rec.Records {
+		if r.LSN > rec.SnapshotLSN {
+			t.Fatalf("unexpected tail record %d", r.LSN)
+		}
+	}
+	if lsn := appendT(t, l2, RecordCommand, []byte("next")); lsn != 31 {
+		t.Fatalf("lsn after full compaction = %d, want 31", lsn)
+	}
+}
+
+func TestCorruptSnapshotSkipped(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{NoSync: true})
+	appendT(t, l, RecordFleet, []byte("a"))
+	if err := l.Checkpoint(memSnapshotter{state: []byte("good"), covered: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A newer, corrupt snapshot must lose to the older valid one.
+	bad := filepath.Join(dir, fmt.Sprintf("%s%016x%s", snapPrefix, uint64(99), snapSuffix))
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir, Options{NoSync: true})
+	defer l2.Close()
+	if rec.SkippedSnapshots != 1 {
+		t.Fatalf("skipped = %d", rec.SkippedSnapshots)
+	}
+	if string(rec.SnapshotState) != "good" || rec.SnapshotLSN != 1 {
+		t.Fatalf("recovered snapshot %q at %d", rec.SnapshotState, rec.SnapshotLSN)
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{NoSync: true})
+	if _, err := l.Append(RecordFleet, make([]byte, MaxRecordBytes)); err != ErrTooLarge {
+		t.Fatalf("oversized append err = %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(RecordFleet, []byte("x")); err != ErrClosed {
+		t.Fatalf("append after close err = %v", err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentAppends drives the group-commit path from many goroutines:
+// every append gets a unique LSN and every record survives replay.
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{SegmentBytes: 4096})
+	const (
+		workers = 8
+		each    = 50
+	)
+	lsns := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				lsn, err := l.Append(RecordSched, []byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				lsns[w] = append(lsns[w], lsn)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, ws := range lsns {
+		for _, lsn := range ws {
+			if seen[lsn] {
+				t.Fatalf("duplicate lsn %d", lsn)
+			}
+			seen[lsn] = true
+		}
+	}
+	if len(seen) != workers*each {
+		t.Fatalf("%d unique lsns, want %d", len(seen), workers*each)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != workers*each {
+		t.Fatalf("replayed %d, want %d", len(rec.Records), workers*each)
+	}
+}
+
+// TestCloseFlushesPending ensures records in flight when Close is called
+// are committed, matching the clean-shutdown path.
+func TestCloseFlushesPending(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Appends racing Close either commit or report ErrClosed;
+			// anything that returned an LSN must survive replay.
+			l.Append(RecordFleet, []byte(fmt.Sprintf("pending-%d", i))) //nolint:errcheck
+		}(i)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 16 {
+		t.Fatalf("replayed %d records, want 16", len(rec.Records))
+	}
+}

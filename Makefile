@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-par race-te race-chaos race-sched race-ctl race-wal bench bench-sim bench-dcn bench-te bench-chaos bench-sched bench-ctl bench-wal profile-dcn experiments clean
+.PHONY: check vet lint build test race race-par race-te race-chaos race-sched race-ctl race-wal bench bench-sim bench-dcn bench-te bench-chaos bench-sched bench-ctl bench-wal profile-dcn experiments clean
 
 # The gate every change must pass: vet, build everything, race-test the
 # parallel engine under contention, race-test the TE loop (its Loop is
@@ -35,10 +35,20 @@ race-wal:
 	$(GO) test -race ./internal/wal/...
 
 # gofmt -l prints unformatted files; any hit fails the target with a
-# readable diagnostic.
-vet:
+# readable diagnostic. vet folds in the project analyzer suite (lint):
+# go vet catches generic Go mistakes, lwlint enforces the lightwave
+# contracts (determinism, virtual time, lock order, hot-path allocation,
+# durability) documented in DESIGN.md §15.
+vet: lint
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l cmd internal); if [ -n "$$fmtout" ]; then echo "gofmt needed:"; echo "$$fmtout"; exit 1; fi
+
+# The project-invariant analyzer suite. Exits non-zero on any finding;
+# findings are fixed or suppressed in-line with //lwlint:ignore plus a
+# written reason. `go run ./cmd/lwlint -json ./...` gives the same
+# results machine-readably.
+lint:
+	$(GO) run ./cmd/lwlint ./...
 
 build:
 	$(GO) build ./...

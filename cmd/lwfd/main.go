@@ -207,7 +207,11 @@ func run(addr, metricsAddr string, cubes int, transceiver string, teEpoch time.D
 		if err != nil {
 			return fmt.Errorf("lwfd: opening -state-dir: %w", err)
 		}
-		defer store.Close()
+		defer func() {
+			if err := store.Close(); err != nil {
+				log.Printf("lwfd: closing state dir: %v", err)
+			}
+		}()
 		applied, failed := store.ReplayCommands(srv.ApplyCommand)
 		if applied+failed > 0 {
 			log.Printf("lwfd: state dir %s: replayed %d commands (%d failed) to lsn %d",

@@ -255,7 +255,11 @@ func run(cfg config) error {
 		if err != nil {
 			return fmt.Errorf("lwfleetd: opening -state-dir: %w", err)
 		}
-		defer store.Close()
+		defer func() {
+			if err := store.Close(); err != nil {
+				log.Printf("lwfleetd: closing state dir: %v", err)
+			}
+		}()
 		store.BeginRecovery()
 		journal = store
 		st := store.Status()

@@ -440,14 +440,17 @@ func allSettled(st fleet.Status) bool {
 // clock. Each fault kind settles on a deterministic post-state, so event
 // counts never race the epoch walk.
 func (h *harness) settle(pred func(fleet.Status) bool, what string) error {
+	//lwlint:ignore walltime settle waits on the fleet manager's real-time reconciler workers; the predicate it waits for is deterministic, only the wait itself is wall-clock
 	deadline := time.Now().Add(h.cfg.SettleTimeout)
 	for {
 		if pred(h.mgr.Status()) {
 			return nil
 		}
+		//lwlint:ignore walltime timeout guard for the live reconciler wait above; does not reach results
 		if time.Now().After(deadline) {
 			return fmt.Errorf("chaos: timed out waiting for %s", what)
 		}
+		//lwlint:ignore walltime poll backoff for the live reconciler wait; does not reach results
 		time.Sleep(200 * time.Microsecond)
 	}
 }

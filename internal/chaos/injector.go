@@ -141,6 +141,7 @@ func (in *Injector) ApplyLive(ev Event) error {
 	}
 	in.lifts.Add(1)
 	var tm *time.Timer
+	//lwlint:ignore walltime ApplyLive is the live-daemon seam: lift timers run on wall clock by design; deterministic replay uses Apply/Lift driven by virtual time
 	tm = time.AfterFunc(time.Duration(ev.DurationSeconds*float64(time.Second)), func() {
 		defer in.lifts.Done()
 		in.mu.Lock()
@@ -167,6 +168,7 @@ func (in *Injector) Close() {
 		return
 	}
 	in.closed = true
+	//lwlint:ignore maprange teardown of a timer set: each Stop/Done/delete is independent, so stop order cannot reach results
 	for tm := range in.timers {
 		if tm.Stop() {
 			// The callback will never run; settle its WaitGroup slot.
@@ -315,6 +317,8 @@ func (in *Injector) berDegradeLocked(ev Event) error {
 // pre-resolved counters, no fabric mutation (the evaluator folds
 // admin-down trunks into the degraded topology it simulates and the
 // observed matrix it feeds the te collector).
+//
+//lwlint:hotpath
 func (in *Injector) TrunkDown(pair [2]int) {
 	in.mu.Lock()
 	in.trunkDownLocked(pair)
@@ -322,12 +326,15 @@ func (in *Injector) TrunkDown(pair [2]int) {
 }
 
 // TrunkUp restores one admin-downed trunk.
+//
+//lwlint:hotpath
 func (in *Injector) TrunkUp(pair [2]int) {
 	in.mu.Lock()
 	in.trunkUpLocked(pair)
 	in.mu.Unlock()
 }
 
+//lwlint:hotpath
 func (in *Injector) trunkDownLocked(pair [2]int) {
 	in.adminDown[normPair(pair)]++
 	in.downTotal++
@@ -337,6 +344,7 @@ func (in *Injector) trunkDownLocked(pair [2]int) {
 	in.gTrunksDown.Set(float64(in.downTotal))
 }
 
+//lwlint:hotpath
 func (in *Injector) trunkUpLocked(pair [2]int) {
 	k := normPair(pair)
 	if in.adminDown[k] == 0 {
@@ -349,6 +357,7 @@ func (in *Injector) trunkUpLocked(pair [2]int) {
 	in.gTrunksDown.Set(float64(in.downTotal))
 }
 
+//lwlint:hotpath
 func normPair(p [2]int) [2]int {
 	if p[0] > p[1] {
 		p[0], p[1] = p[1], p[0]

@@ -18,10 +18,13 @@ import (
 
 // appendJSONString appends s as a JSON string literal. Strings needing
 // escapes take the encoding/json path.
+//
+//lwlint:hotpath
 func appendJSONString(dst []byte, s string) []byte {
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			//lwlint:ignore hotalloc cold fallback: strings needing escapes are rare on the wire, and correctness beats the box here
 			quoted, err := json.Marshal(s)
 			if err != nil {
 				// A Go string always marshals; keep the frame well-formed
@@ -37,6 +40,8 @@ func appendJSONString(dst []byte, s string) []byte {
 }
 
 // appendRequest appends req as one newline-terminated wire line.
+//
+//lwlint:hotpath
 func appendRequest(dst []byte, req *Request) []byte {
 	dst = append(dst, `{"id":`...)
 	dst = strconv.AppendUint(dst, req.ID, 10)
@@ -50,6 +55,8 @@ func appendRequest(dst []byte, req *Request) []byte {
 }
 
 // appendResponse appends resp as one newline-terminated wire line.
+//
+//lwlint:hotpath
 func appendResponse(dst []byte, resp *Response) []byte {
 	dst = append(dst, `{"id":`...)
 	dst = strconv.AppendUint(dst, resp.ID, 10)
@@ -83,6 +90,8 @@ func init() {
 }
 
 // internMethod converts a method token without allocating when known.
+//
+//lwlint:hotpath
 func internMethod(b []byte) string {
 	if m, ok := internedMethods[string(b)]; ok {
 		return m
@@ -91,6 +100,8 @@ func internMethod(b []byte) string {
 }
 
 // eatUint consumes a decimal literal at line[i:].
+//
+//lwlint:hotpath
 func eatUint(line []byte, i int) (uint64, int, bool) {
 	var v uint64
 	start := i
@@ -103,6 +114,8 @@ func eatUint(line []byte, i int) (uint64, int, bool) {
 
 // tail trims one closing brace plus surrounding whitespace off the end of
 // a frame, returning the payload span and whether the frame ended cleanly.
+//
+//lwlint:hotpath
 func tail(line []byte, i int) ([]byte, bool) {
 	rest := bytes.TrimRight(line[i:], " \t\r\n")
 	if len(rest) == 0 || rest[len(rest)-1] != '}' {
@@ -113,6 +126,8 @@ func tail(line []byte, i int) ([]byte, bool) {
 
 // parseResponse decodes one response line. The returned Result aliases
 // line on the fast path; callers must copy it if it outlives the buffer.
+//
+//lwlint:hotpath
 func parseResponse(line []byte, resp *Response) error {
 	// Fast path: {"id":N} / {"id":N,"result":...}; anything else —
 	// reordered fields, an error string needing unescaping — falls back.
@@ -120,7 +135,7 @@ func parseResponse(line []byte, resp *Response) error {
 		id, i, ok := eatUint(rest, 0)
 		if ok {
 			switch {
-			case bytes.HasPrefix(rest[i:], []byte{'}'}):
+			case i < len(rest) && rest[i] == '}':
 				*resp = Response{ID: id}
 				return nil
 			case bytes.HasPrefix(rest[i:], []byte(`,"result":`)):
@@ -137,6 +152,8 @@ func parseResponse(line []byte, resp *Response) error {
 
 // parseRequest decodes one request line. The returned Method and Params
 // alias line on the fast path; callers must copy what outlives the buffer.
+//
+//lwlint:hotpath
 func parseRequest(line []byte, req *Request) error {
 	if rest, ok := bytes.CutPrefix(line, []byte(`{"id":`)); ok {
 		id, i, ok := eatUint(rest, 0)
@@ -149,7 +166,7 @@ func parseRequest(line []byte, req *Request) error {
 			if j < len(rest) && rest[j] == '"' {
 				method := rest[i:j]
 				switch {
-				case bytes.HasPrefix(rest[j+1:], []byte{'}'}):
+				case j+1 < len(rest) && rest[j+1] == '}':
 					*req = Request{ID: id, Method: internMethod(method)}
 					return nil
 				case bytes.HasPrefix(rest[j+1:], []byte(`,"params":`)):

@@ -218,6 +218,8 @@ func (s *simEngine) reset() {
 // arrivalLess orders pairs by (next arrival time, pair index): among
 // simultaneous arrivals the lowest pair index wins, exactly like the
 // original first-minimum linear scan over next[].
+//
+//lwlint:hotpath
 func (s *simEngine) arrivalLess(a, b int32) bool {
 	ta, tb := s.next[a], s.next[b]
 	return ta < tb || (ta == tb && a < b)
@@ -226,6 +228,8 @@ func (s *simEngine) arrivalLess(a, b int32) bool {
 // siftDown restores the heap property below slot i. It is the only heap
 // primitive the loop needs: an arrival only ever reschedules the root
 // (its new time is strictly later), and no other slot's key changes.
+//
+//lwlint:hotpath
 func (s *simEngine) siftDown(i int) {
 	h := s.heap
 	for {
@@ -245,6 +249,7 @@ func (s *simEngine) siftDown(i int) {
 	}
 }
 
+//lwlint:hotpath
 func (s *simEngine) getFlow() *flow {
 	if n := len(s.free); n > 0 {
 		f := s.free[n-1]
@@ -257,6 +262,7 @@ func (s *simEngine) getFlow() *flow {
 	return &flow{}
 }
 
+//lwlint:hotpath
 func (s *simEngine) removeActive(f *flow) {
 	last := len(s.active) - 1
 	s.active[f.idx] = s.active[last]
@@ -266,6 +272,8 @@ func (s *simEngine) removeActive(f *flow) {
 
 // step advances the simulation by one event (arrival or completion) and
 // reports whether the run continues: false once the horizon is reached.
+//
+//lwlint:hotpath
 func (s *simEngine) step() bool {
 	if s.now >= s.w.Duration {
 		return false
@@ -390,6 +398,8 @@ func Simulate(t *Topology, w Workload, cfg SimConfig) (SimResult, error) {
 // overloaded relative to the best two-hop alternative; otherwise the least-
 // loaded two-hop path. It returns the transit block and true for a two-hop
 // path, or (-1, false) for the direct trunk.
+//
+//lwlint:hotpath
 func (s *simEngine) choosePath(src, dst int) (int, bool) {
 	links := s.top.Links
 	directScore := math.Inf(1)
@@ -438,6 +448,8 @@ func (s *simEngine) choosePath(src, dst int) (int, bool) {
 // transitScore scores the two-hop path src→via→dst as the worse of its two
 // per-hop load ratios (lower is better). ok is false when via is unusable:
 // it coincides with an endpoint or lacks a trunk on either hop.
+//
+//lwlint:hotpath
 func (s *simEngine) transitScore(src, dst, via int) (score float64, ok bool) {
 	links := s.top.Links
 	if via == src || via == dst || links[src][via] == 0 || links[via][dst] == 0 {
@@ -471,6 +483,8 @@ func routable(t *Topology, i, j int) bool {
 // counts are maintained incrementally as flows freeze instead of being
 // recounted every bottleneck round; the recompute allocates nothing once
 // the per-link flow lists have reached their high-water length.
+//
+//lwlint:hotpath
 func (s *simEngine) maxMinRates() {
 	s.epoch++
 	s.order = s.order[:0]

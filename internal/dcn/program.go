@@ -3,6 +3,7 @@ package dcn
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"lightwave/internal/ocs"
 )
@@ -128,8 +129,23 @@ func (f *Fabric) Program(t *Topology) (ProgramResult, error) {
 			}
 			res.TornDown++
 		}
-		for k, n := range desired[i] {
-			for j := 0; j < n; j++ {
+		// Establish in sorted (a, b) order: ranging the map directly
+		// would randomize the hardware programming sequence run-to-run —
+		// and, when a Connect fails mid-program, which circuits exist —
+		// breaking replay determinism (the PR 2 bug class, caught by
+		// lwlint's maprange analyzer).
+		edges := make([]edge, 0, len(desired[i]))
+		for k := range desired[i] {
+			edges = append(edges, k)
+		}
+		sort.Slice(edges, func(x, y int) bool {
+			if edges[x].a != edges[y].a {
+				return edges[x].a < edges[y].a
+			}
+			return edges[x].b < edges[y].b
+		})
+		for _, k := range edges {
+			for j := 0; j < desired[i][k]; j++ {
 				if _, err := sw.Connect(ocs.PortID(k.a), ocs.PortID(k.b)); err != nil {
 					return res, err
 				}

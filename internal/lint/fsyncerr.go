@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerFsyncerr enforces the durability contract from the PR 8 WAL:
+// on a durable file, an error from Sync or Close is the only signal that
+// acknowledged bytes may not be on disk, so silently discarding it turns
+// a reportable failure into data loss. Inside the durability-critical
+// packages (internal/wal and the daemons' shutdown paths), a bare
+// statement or defer of a Sync/Close that returns an error is flagged
+// when the receiver is an *os.File or a type declared in a
+// durability-critical package (wal.Log, wal.Store). Intentional discards
+// must be explicit `_ =` assignments, which both the reader and this
+// analyzer can see.
+var AnalyzerFsyncerr = &Analyzer{
+	Name: "fsyncerr",
+	Doc: "durable-file Sync/Close errors must be handled (or explicitly " +
+		"discarded with `_ =`) in the WAL and daemon shutdown paths",
+	Run: runFsyncerr,
+}
+
+func runFsyncerr(p *Pass) {
+	if !p.Cfg.inFsyncScope(p.ImportPath) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					p.checkDurableDiscard(call, "")
+				}
+			case *ast.DeferStmt:
+				p.checkDurableDiscard(n.Call, "defer ")
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkDurableDiscard(call *ast.CallExpr, how string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if name != "Sync" && name != "Close" {
+		return
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+		return
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	pkgPath := named.Obj().Pkg().Path()
+	durable := pkgPath == "os" && named.Obj().Name() == "File" || p.Cfg.inFsyncScope(pkgPath)
+	if !durable {
+		return
+	}
+	p.Reportf(call.Pos(), "%s%s.%s discards its error: on a durable file this can silently lose acknowledged writes; handle it or discard explicitly with `_ =`", how, named.Obj().Name(), name)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,354 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerMaprange enforces the map-iteration contract from the PR 2
+// determinism sweep: Go randomizes map iteration order per run, so a
+// `for range` over a map inside a deterministic package must not let
+// that order reach results. Two shapes are recognized as safe without
+// annotation — collecting keys/values into slices that are sorted later
+// in the same function, and bodies that only perform order-commutative
+// updates (integer accumulation, constant stores, map writes keyed by
+// the loop variables, deletes). Anything else needs a fix or a
+// reason-bearing //lwlint:ignore.
+var AnalyzerMaprange = &Analyzer{
+	Name: "maprange",
+	Doc: "deterministic packages must not let randomized map iteration " +
+		"order reach results: sort collected keys before use or keep the " +
+		"body order-commutative",
+	Run: runMaprange,
+}
+
+func runMaprange(p *Pass) {
+	if !p.Cfg.IsDeterministic(p.ImportPath) {
+		return
+	}
+	for _, f := range p.Files {
+		// Track the innermost enclosing function body so the
+		// sorted-later check has a scope to scan.
+		var enclosing []ast.Node
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				enclosing = append(enclosing, n)
+				ast.Inspect(funcBody(n), visit)
+				enclosing = enclosing[:len(enclosing)-1]
+				return false
+			case *ast.RangeStmt:
+				t := p.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				var body ast.Node
+				if len(enclosing) > 0 {
+					body = funcBody(enclosing[len(enclosing)-1])
+				}
+				if p.mapRangeSafe(n, body) {
+					return true
+				}
+				p.Reportf(n.Pos(), "iteration over map %s: order is randomized per run and can reach results (the PR 2 nondeterminism bug class); sort the keys before use, keep the body order-commutative, or suppress with a reason", exprString(n.X))
+			}
+			return true
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			enclosing = append(enclosing, fd)
+			ast.Inspect(fd.Body, visit)
+			enclosing = enclosing[:len(enclosing)-1]
+		}
+	}
+}
+
+func funcBody(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return nil
+}
+
+// mapRangeSafe reports whether the range statement provably keeps map
+// order out of results: every statement must be order-commutative, a
+// guarded min/max selection, or an append into a slice that is sorted
+// later in the enclosing function.
+func (p *Pass) mapRangeSafe(r *ast.RangeStmt, enclosingBody ast.Node) bool {
+	c := &rangeClassifier{p: p, loopVars: p.rangeVarObjects(r), targets: make(map[types.Object]bool)}
+	if !c.stmts(r.Body.List) {
+		return false
+	}
+	for obj := range c.targets {
+		if enclosingBody == nil || !p.sortedAfter(enclosingBody, r.End(), obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeVarObjects resolves the key/value loop variables to their objects.
+func (p *Pass) rangeVarObjects(r *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{r.Key, r.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := p.Info.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	return vars
+}
+
+// rangeClassifier decides statement by statement whether a map-range
+// body is order-independent, collecting append targets that must be
+// sorted afterwards.
+type rangeClassifier struct {
+	p        *Pass
+	loopVars map[types.Object]bool
+	targets  map[types.Object]bool
+}
+
+func (c *rangeClassifier) stmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if !c.stmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *rangeClassifier) stmt(s ast.Stmt) bool {
+	p := c.p
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		return p.isIntegral(s.X)
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Commutative only over integers: float addition order
+			// changes low bits, which is exactly the bit-replay hazard.
+			return len(s.Lhs) == 1 && p.isIntegral(s.Lhs[0])
+		case token.ASSIGN, token.DEFINE:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+				if t := p.TypeOf(ix.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && p.mentionsAny(ix.Index, c.loopVars) {
+						// m2[k] = v rebuilds a map keyed by the loop
+						// variable: same final map in any order.
+						return true
+					}
+				}
+				return false
+			}
+			if c.appendCollect(s) {
+				return true
+			}
+			// x = <constant> is idempotent.
+			tv, ok := p.Info.Types[s.Rhs[0]]
+			return ok && tv.Value != nil
+		}
+		return false
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		return ok && p.isBuiltin(call.Fun, "delete")
+	case *ast.IfStmt:
+		if c.minmaxSelect(s) {
+			return true
+		}
+		if s.Init != nil {
+			// Allow `if v, ok := other[k]; ok { ... }` inits: a define
+			// from a read has no ordered effect.
+			if as, ok := s.Init.(*ast.AssignStmt); !ok || as.Tok != token.DEFINE {
+				return false
+			}
+		}
+		if !c.stmts(s.Body.List) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return c.stmts(e.List)
+		case *ast.IfStmt:
+			return c.stmt(e)
+		}
+		return false
+	case *ast.BlockStmt:
+		return c.stmts(s.List)
+	case *ast.BranchStmt:
+		// continue skips work per-element; break makes the processed
+		// subset order-dependent.
+		return s.Tok == token.CONTINUE
+	}
+	return false
+}
+
+// appendCollect matches `s = append(s, ...)` and records s as a slice
+// that must be sorted after the loop.
+func (c *rangeClassifier) appendCollect(as *ast.AssignStmt) bool {
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !c.p.isBuiltin(call.Fun, "append") || len(call.Args) < 2 {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || c.p.objOf(first) == nil || c.p.objOf(first) != c.p.objOf(lhs) {
+		return false
+	}
+	c.targets[c.p.objOf(lhs)] = true
+	return true
+}
+
+// minmaxSelect matches the running-extremum idiom
+//
+//	if <cond containing x < k or x > k> { x = k }
+//
+// whose result (the minimum or maximum over visited entries) is the same
+// in any iteration order.
+func (c *rangeClassifier) minmaxSelect(s *ast.IfStmt) bool {
+	if s.Init != nil || len(s.Body.List) != 1 || s.Else != nil {
+		return false
+	}
+	as, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	x, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	k, ok := as.Rhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	xo, ko := c.p.objOf(x), c.p.objOf(k)
+	if xo == nil || ko == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(s.Cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.LSS && be.Op != token.GTR) {
+			return true
+		}
+		l, lok := be.X.(*ast.Ident)
+		r, rok := be.Y.(*ast.Ident)
+		if lok && rok {
+			lo, ro := c.p.objOf(l), c.p.objOf(r)
+			if (lo == xo && ro == ko) || (lo == ko && ro == xo) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortedAfter scans for a sort.* / slices.* call after pos whose
+// arguments mention obj.
+func (p *Pass) sortedAfter(body ast.Node, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg := p.PkgNameOf(sel); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && p.objOf(id) == obj {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (p *Pass) isIntegral(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func (p *Pass) mentionsAny(e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[p.objOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (p *Pass) objOf(id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+func (p *Pass) isBuiltin(fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.objOf(id).(*types.Builtin)
+	return ok
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	}
+	return "expression"
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The mutation tests prove the gate actually gates: a synthetic module
+// named lightwave with the PR 2 map-iteration bug injected into a
+// dcn-like package must fail the real DefaultConfig run, and the sorted
+// fix of the same code must pass it. This is the regression test for the
+// regression test.
+
+const buggyProgram = `package dcn
+
+// Program mimics the PR 2 bug: the hardware programming sequence follows
+// randomized map iteration order.
+func Program(desired map[[2]int]int) [][2]int {
+	var order [][2]int
+	for k := range desired {
+		order = append(order, k)
+	}
+	return order
+}
+`
+
+const fixedProgram = `package dcn
+
+import "sort"
+
+// Program establishes circuits in sorted edge order.
+func Program(desired map[[2]int]int) [][2]int {
+	var order [][2]int
+	for k := range desired {
+		order = append(order, k)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i][0] != order[j][0] {
+			return order[i][0] < order[j][0]
+		}
+		return order[i][1] < order[j][1]
+	})
+	return order
+}
+`
+
+// writeModule lays out a throwaway module that shadows the real module
+// path, so DefaultConfig's package lists apply verbatim.
+func writeModule(t *testing.T, programSrc string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module lightwave\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join(dir, "internal", "dcn")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "program.go"), []byte(programSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestMutationMapRangeBugIsCaught(t *testing.T) {
+	dir := writeModule(t, buggyProgram)
+	diags, err := Run(dir, []string{"./..."}, DefaultConfig(), Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "maprange" && d.File == "internal/dcn/program.go" {
+			found = true
+		} else {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !found {
+		t.Fatal("re-introduced map-iteration bug was not caught by maprange")
+	}
+}
+
+func TestMutationSortedFixIsClean(t *testing.T) {
+	dir := writeModule(t, fixedProgram)
+	diags, err := Run(dir, []string{"./..."}, DefaultConfig(), Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,41 @@
+package lint
+
+import "strings"
+
+// AnalyzerSimrand enforces the randomness contract from DESIGN.md and PR
+// 2: every stream of simulation randomness is an explicit sim.Rand /
+// sim.Substream so results are a pure function of the seed and
+// internal/par fan-outs replay bit-identically at any worker count.
+// math/rand has a process-global, lock-shared source and math/rand/v2
+// auto-seeds, so importing either anywhere outside internal/sim silently
+// breaks that contract. hash/maphash and crypto/rand draw from
+// process-global seed material, which is equally fatal inside the
+// deterministic packages (and legitimate elsewhere, e.g. in a daemon).
+var AnalyzerSimrand = &Analyzer{
+	Name: "simrand",
+	Doc: "randomness must flow through sim.Rand/sim.Substream: math/rand " +
+		"and math/rand/v2 are banned outside internal/sim, and " +
+		"global-seed sources (hash/maphash, crypto/rand) are banned in " +
+		"deterministic packages",
+	Run: runSimrand,
+}
+
+func runSimrand(p *Pass) {
+	if p.ImportPath == p.Cfg.SimPackage {
+		return
+	}
+	deterministic := p.Cfg.IsDeterministic(p.ImportPath)
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			switch path {
+			case "math/rand", "math/rand/v2":
+				p.Reportf(spec.Pos(), "import of %s: use %s (sim.Rand, sim.Substream) so seeds are explicit and substreams replay bit-identically", path, p.Cfg.SimPackage)
+			case "hash/maphash", "crypto/rand":
+				if deterministic {
+					p.Reportf(spec.Pos(), "import of %s in deterministic package: its output is seeded from process-global state and cannot be replayed", path)
+				}
+			}
+		}
+	}
+}

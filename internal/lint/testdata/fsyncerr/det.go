@@ -1,0 +1,32 @@
+// Package fsyncerr is the fsyncerr analyzer corpus: the package is in
+// the test config's fsync scope, so its own types count as durable.
+package fsyncerr
+
+import "os"
+
+// Log stands in for wal.Log: a durable-state owner declared in an
+// fsync-scoped package.
+type Log struct{ f *os.File }
+
+func (l *Log) Sync() error  { return l.f.Sync() }
+func (l *Log) Close() error { return l.f.Close() }
+
+// quiet's Close has no error result: nothing to lose, never flagged.
+type quiet struct{}
+
+func (quiet) Close() {}
+
+func bad(l *Log, f *os.File) {
+	l.Sync()        // want `\[fsyncerr\] Log\.Sync discards its error`
+	defer l.Close() // want `\[fsyncerr\] defer Log\.Close discards its error`
+	f.Close()       // want `\[fsyncerr\] File\.Close discards its error`
+}
+
+func good(l *Log, f *os.File, q quiet) error {
+	_ = l.Sync() // an explicit discard is a visible decision
+	if err := f.Close(); err != nil {
+		return err
+	}
+	q.Close() // no error result
+	return l.Close()
+}

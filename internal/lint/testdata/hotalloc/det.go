@@ -1,0 +1,45 @@
+// Package hotalloc is the hotalloc analyzer corpus: the construct
+// classes banned under //lwlint:hotpath, and the shapes that stay free.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func sink(v any)      {}
+func sinks(vs ...any) {}
+
+// Hot exercises every banned construct class.
+//
+//lwlint:hotpath
+func Hot(n int, s string) {
+	m := map[int]int{} // want `\[hotalloc\] hotpath Hot: map literal allocates`
+	_ = m
+	sl := []int{1, 2} // want `\[hotalloc\] hotpath Hot: slice literal allocates`
+	_ = sl
+	mk := make([]byte, n) // want `\[hotalloc\] hotpath Hot: make allocates`
+	_ = mk
+	fmt.Println(n)               // want `\[hotalloc\] hotpath Hot: fmt\.Println allocates`
+	f := func() int { return n } // want `\[hotalloc\] hotpath Hot: closure captures n`
+	_ = f
+	t := s + s // want `\[hotalloc\] hotpath Hot: string concatenation allocates`
+	_ = t
+	v := any(n) // want `\[hotalloc\] hotpath Hot: conversion of int to (any|interface\{\}) boxes`
+	_ = v
+	sink(n)  // want `\[hotalloc\] hotpath Hot: implicit conversion of int to (any|interface\{\}) boxes`
+	sink(&n) // a pointer fits the interface word: no box, no finding
+	sinks(n) // want `\[hotalloc\] hotpath Hot: implicit conversion of int to (any|interface\{\}) boxes`
+	var pre []any
+	sinks(pre...) // slice pass-through: no per-element boxing
+}
+
+// Cold is unmarked: identical constructs are fine off the hot path.
+func Cold(n int) string { return fmt.Sprintf("cold %d", n) }
+
+// AppendID is hot yet allocation-free: append into a caller buffer.
+//
+//lwlint:hotpath
+func AppendID(dst []byte, id uint64) []byte {
+	return strconv.AppendUint(dst, id, 10)
+}

@@ -1,0 +1,84 @@
+// Package locknest is the locknest analyzer corpus. The test config
+// declares the order Server.mu(1) → Injector.mu(2) → Manager.mu(3),
+// mirroring the real ctlrpc/chaos/fleet table.
+package locknest
+
+import "sync"
+
+type Server struct{ mu sync.RWMutex }
+
+type Injector struct {
+	mu  sync.Mutex
+	mgr *Manager
+}
+
+type Manager struct {
+	mu  sync.Mutex
+	inj *Injector
+}
+
+// Apply follows the declared order: Injector.mu (2), then a Manager
+// method that takes rank 3.
+func (in *Injector) Apply() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.mgr.poke()
+}
+
+func (m *Manager) poke() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+}
+
+// badDirect inverts the order with a direct acquisition.
+func (m *Manager) badDirect() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inj.mu.Lock() // want `\[locknest\] acquires locknest\.Injector\.mu \(rank 2\) while locknest\.Manager\.mu \(rank 3\) is held`
+	m.inj.mu.Unlock()
+}
+
+// badViaCall inverts the order through the same-package call graph: the
+// callee's summary says it acquires Injector.mu.
+func (m *Manager) badViaCall() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inj.lockUnlock() // want `\[locknest\] call to lockUnlock acquires locknest\.Injector\.mu \(rank 2\) while locknest\.Manager\.mu \(rank 3\) is held`
+}
+
+func (in *Injector) lockUnlock() {
+	in.mu.Lock()
+	in.mu.Unlock()
+}
+
+// badRelock self-deadlocks on a non-reentrant mutex.
+func (in *Injector) badRelock() {
+	in.mu.Lock()
+	in.mu.Lock() // want `\[locknest\] re-acquires locknest\.Injector\.mu already held on this path: self-deadlock`
+	in.mu.Unlock()
+	in.mu.Unlock()
+}
+
+// dispatch is the read-branch shape that demands branch sensitivity:
+// the RLock+defer+return branch terminates, so the writer Lock below is
+// not a re-acquisition.
+func (s *Server) dispatch(readOnly bool) int {
+	if readOnly {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 2
+}
+
+// spawn hands work to a goroutine, which starts with no locks held, so
+// the rank-2 acquisition inside is clean even under Manager.mu.
+func (m *Manager) spawn() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	go func() {
+		m.inj.lockUnlock()
+	}()
+}

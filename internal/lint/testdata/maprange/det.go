@@ -1,0 +1,81 @@
+// Package maprange is the maprange analyzer corpus: which bodies keep
+// randomized map iteration order away from results, and which leak it.
+package maprange
+
+import "sort"
+
+// Leak lets iteration order reach the returned slice unsorted.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `\[maprange\] iteration over map m`
+		out = append(out, k)
+	}
+	return out
+}
+
+// First returns from inside the loop: which entry wins is random.
+func First(m map[string]int) (string, bool) {
+	for k := range m { // want `\[maprange\] iteration over map m`
+		return k, true
+	}
+	return "", false
+}
+
+// FloatSum is order-sensitive in the low bits: float addition does not
+// commute bitwise, which is exactly the replay hazard.
+func FloatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `\[maprange\] iteration over map m`
+		total += v
+	}
+	return total
+}
+
+// Sorted collects then sorts before use: safe.
+func Sorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum accumulates integers: commutative, safe.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Rebuild writes a map keyed by the loop variable: same map either way.
+func Rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Max is the guarded extremum-select idiom: order-free.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if best < v {
+			best = v
+		}
+	}
+	return best
+}
+
+// Prune deletes per-entry with a continue guard: order-free.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v != 0 {
+			continue
+		}
+		delete(m, k)
+	}
+}

@@ -1,0 +1,11 @@
+// Package simrand is the simrand analyzer corpus. The test config lists
+// the package as deterministic, so the global-seed sources are banned
+// alongside math/rand itself.
+package simrand
+
+import (
+	_ "crypto/rand"  // want `\[simrand\] import of crypto/rand in deterministic package`
+	_ "hash/maphash" // want `\[simrand\] import of hash/maphash in deterministic package`
+	_ "math/rand"    // want `\[simrand\] import of math/rand: use corpus/sim`
+	_ "math/rand/v2" // want `\[simrand\] import of math/rand/v2: use corpus/sim`
+)

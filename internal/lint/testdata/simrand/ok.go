@@ -1,0 +1,6 @@
+package simrand
+
+import "math"
+
+// Norm shows deterministic math (as opposed to math/rand) is untouched.
+func Norm(x float64) float64 { return math.Abs(x) }

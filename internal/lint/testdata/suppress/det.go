@@ -1,0 +1,40 @@
+// Package suppress is the suppression-semantics corpus: a reasoned
+// //lwlint:ignore covers its own line and the line below, and only for
+// the analyzers it names.
+package suppress
+
+import "time"
+
+// Stamp is wall-clock by design in this corpus; the annotation above the
+// call carries the reason and the analyzer stays quiet.
+func Stamp() time.Time {
+	//lwlint:ignore walltime corpus: sanctioned wall-clock read
+	return time.Now()
+}
+
+// Sleep uses the trailing form, which covers its own line.
+func Sleep() {
+	time.Sleep(time.Millisecond) //lwlint:ignore walltime corpus: trailing form
+}
+
+// Wrong names an analyzer that did not fire here, so the maprange
+// finding on the next line survives.
+func Wrong(m map[string]int) []string {
+	var out []string
+	//lwlint:ignore walltime corpus: names the wrong analyzer, does not bind
+	for k := range m { // want `\[maprange\] iteration over map m`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Both suppresses two analyzers with one annotation: the unsorted
+// collect below would otherwise be a maprange finding.
+func Both(m map[string]int) ([]string, time.Time) {
+	var out []string
+	//lwlint:ignore maprange,walltime corpus: one annotation, two analyzers
+	for k := range m {
+		out = append(out, k)
+	}
+	return out, time.Now() //lwlint:ignore walltime corpus: trailing again
+}

@@ -1,0 +1,22 @@
+// Package walltime is the walltime analyzer corpus: a deterministic
+// package that reads the wall clock everywhere except runner.go.
+package walltime
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond)   // want `\[walltime\] time\.Sleep in deterministic package corpus/walltime`
+	<-time.After(time.Millisecond) // want `\[walltime\] time\.After in deterministic package`
+	return time.Now()              // want `\[walltime\] time\.Now in deterministic package`
+}
+
+// Duration arithmetic and type references stay legal: only acquiring
+// "now" or scheduling real-time callbacks is banned.
+func double(d time.Duration) time.Duration { return 2 * d }
+
+// A local method may reuse a banned name; only package time counts.
+type clock struct{ t int }
+
+func (c clock) Now() int { return c.t }
+
+func okLocal(c clock) int { return c.Now() }

@@ -1,0 +1,7 @@
+package walltime
+
+import "time"
+
+// runner.go is declared in Config.WallClockFiles: wall-clock reads here
+// are the sanctioned bridge between the deterministic core and real time.
+func RunnerNow() time.Time { return time.Now() }

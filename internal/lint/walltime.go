@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// wallClockFuncs are the package-time entry points that read or wait on
+// the wall clock. time.Duration arithmetic and type references stay
+// legal — only acquiring "now" or scheduling real-time callbacks breaks
+// virtual-time determinism.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// AnalyzerWalltime enforces the virtual-time contract: deterministic
+// packages advance time only through explicit simulated clocks (event
+// calendars, epoch counters), never the wall clock, so replays are exact
+// and tests cannot flake on scheduling. Files declared in
+// Config.WallClockFiles are the sanctioned wall-clock runners that
+// bridge the deterministic core to real daemons.
+var AnalyzerWalltime = &Analyzer{
+	Name: "walltime",
+	Doc: "deterministic packages must not read or wait on the wall clock " +
+		"(time.Now/Since/Until/Sleep/After/AfterFunc/Tick/NewTimer/NewTicker) " +
+		"outside the declared wall-clock runner files",
+	Run: runWalltime,
+}
+
+func runWalltime(p *Pass) {
+	if !p.Cfg.IsDeterministic(p.ImportPath) {
+		return
+	}
+	exempt := make(map[string]bool, len(p.Cfg.WallClockFiles))
+	for _, f := range p.Cfg.WallClockFiles {
+		exempt[filepath.ToSlash(f)] = true
+	}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if isExemptFile(name, exempt) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if p.PkgNameOf(sel) != "time" || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			// Only flag the real package function, not a method that
+			// happens to share a name on a local type.
+			if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			p.Reportf(call.Pos(), "time.%s in deterministic package %s: results must be a pure function of seed and virtual time; move wall-clock work to a runner file or suppress with a reason", sel.Sel.Name, p.ImportPath)
+			return true
+		})
+	}
+}
+
+// isExemptFile matches a resolved filename against module-relative
+// allowlist entries by path suffix, so the check works for absolute and
+// relative invocations alike.
+func isExemptFile(filename string, exempt map[string]bool) bool {
+	slash := filepath.ToSlash(filename)
+	for e := range exempt {
+		if slash == e || strings.HasSuffix(slash, "/"+e) {
+			return true
+		}
+	}
+	return false
+}

@@ -162,6 +162,7 @@ func Map(name string, n int, fn func(i int)) {
 // run executes fn(0..n-1) on min(Workers, n) goroutines, propagating the
 // first panic to the caller, and records telemetry for the call.
 func run(name string, trials, n int, fn func(int)) {
+	//lwlint:ignore walltime busy-time telemetry only; shard results are merged in index order regardless of timing
 	startT := time.Now()
 	w := Workers()
 	if w > n {
@@ -202,6 +203,7 @@ func run(name string, trials, n int, fn func(int)) {
 	reg.Counter("par_" + name + "_calls_total").Inc()
 	reg.Counter("par_" + name + "_trials_total").Add(int64(trials))
 	reg.Counter("par_" + name + "_shards_total").Add(int64(n))
+	//lwlint:ignore walltime busy-time telemetry only; feeds a metrics counter, never a result
 	reg.Counter("par_" + name + "_busy_micros_total").Add(time.Since(startT).Microseconds())
 	reg.Gauge("par_" + name + "_workers").Set(float64(w))
 }

@@ -445,6 +445,7 @@ func (s *Scheduler) tryPlaceLocked() error {
 // compacting first when defrag is enabled and compaction could help. It
 // returns (nil, nil, nil) when the job does not fit anywhere.
 func (s *Scheduler) placeOnAnyLocked(j *queuedJob) (*schedPod, []int, error) {
+	//lwlint:ignore walltime placement-latency histogram only; placement decisions depend solely on pod state
 	t0 := time.Now()
 	for _, sp := range s.pods {
 		if sp.down {
@@ -467,9 +468,11 @@ func (s *Scheduler) placeOnAnyLocked(j *queuedJob) (*schedPod, []int, error) {
 				return nil, nil, err
 			}
 		}
+		//lwlint:ignore walltime placement-latency histogram only; never a result
 		s.dPlace.Observe(time.Since(t0).Seconds())
 		return sp, cubes, nil
 	}
+	//lwlint:ignore walltime placement-latency histogram only; never a result
 	s.dPlace.Observe(time.Since(t0).Seconds())
 	return nil, nil, nil
 }

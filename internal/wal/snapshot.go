@@ -79,7 +79,9 @@ func (l *Log) Checkpoint(s Snapshotter) error {
 	if removed > 0 {
 		l.met.compactions.Add(int64(removed))
 	}
-	syncDir(l.dir)
+	// Best-effort: a resurrected pre-snapshot segment or stale snapshot
+	// is ignored (or re-swept) by the next replay.
+	_ = syncDir(l.dir)
 	return nil
 }
 
@@ -98,13 +100,13 @@ func writeSnapshotFile(path string, covered uint64, state []byte, sync bool) err
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	if _, err := f.Write(frame); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	if sync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			os.Remove(tmp)
 			return fmt.Errorf("wal: snapshot: %w", err)
 		}
@@ -117,7 +119,15 @@ func writeSnapshotFile(path string, covered uint64, state []byte, sync bool) err
 		os.Remove(tmp)
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
-	syncDir(filepath.Dir(path))
+	if sync {
+		// The snapshot must be findable after a crash before Checkpoint
+		// is allowed to compact the segments it covers; a swallowed
+		// dirsync failure here was the data-loss window the fsyncerr
+		// audit flagged.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			return fmt.Errorf("wal: snapshot dirsync: %w", err)
+		}
+	}
 	return nil
 }
 

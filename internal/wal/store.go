@@ -79,13 +79,13 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	if rec.SnapshotState != nil {
 		var snap storeSnapshot
 		if err := json.Unmarshal(rec.SnapshotState, &snap); err != nil {
-			log.Close()
+			_ = log.Close()
 			return nil, fmt.Errorf("wal: snapshot payload: %w", err)
 		}
 		if snap.Fleet != nil {
 			fs, err := DecodeFleetState(snap.Fleet)
 			if err != nil {
-				log.Close()
+				_ = log.Close()
 				return nil, err
 			}
 			st.fleetState = fs

@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 
 	"lightwave/internal/telemetry"
 )
@@ -347,19 +348,37 @@ func createSegment(dir string, firstLSN uint64) (*os.File, string, error) {
 	if err != nil {
 		return nil, "", fmt.Errorf("wal: create segment: %w", err)
 	}
-	syncDir(dir)
+	// The segment entry must be durable before records are acknowledged
+	// out of it; a failed dirsync here poisons the append path instead
+	// of being discovered at replay.
+	if err := syncDir(dir); err != nil {
+		_ = f.Close()
+		_ = os.Remove(path)
+		return nil, "", fmt.Errorf("wal: sync dir: %w", err)
+	}
 	return f, path, nil
 }
 
-// syncDir fsyncs a directory so renames and creates are durable.
-// Best-effort: some filesystems reject directory fsync.
-func syncDir(dir string) {
+// syncDir fsyncs a directory so renames and creates are durable. A
+// filesystem that does not support directory fsync (EINVAL/ENOTSUP) is
+// not an error; anything else is real and must reach callers whose
+// acknowledged state depends on the entry being durable — the fsyncerr
+// audit found the old best-effort version silently swallowing failures
+// between snapshot rename and segment compaction, a crash window that
+// loses acknowledged writes.
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return err
 	}
-	_ = d.Sync()
-	_ = d.Close()
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	return err
 }
 
 // replay scans snapshots and segments, truncates any torn tail, and
@@ -444,7 +463,9 @@ func (l *Log) replay() (*Recovery, error) {
 		}
 	}
 	if rec.TruncatedBytes > 0 || rec.DroppedSegments > 0 {
-		syncDir(l.dir)
+		// Best-effort: a resurrected torn tail is re-truncated by the
+		// next replay, so durability of the cleanup is not load-bearing.
+		_ = syncDir(l.dir)
 	}
 
 	// Position the sequence after everything we know about: surviving
@@ -466,7 +487,7 @@ func (l *Log) replay() (*Recovery, error) {
 		}
 		st, err := f.Stat()
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("wal: stat segment: %w", err)
 		}
 		l.f = f
